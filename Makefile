@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments validate results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as the release process captures it.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every paper table/figure plus the extensions.
+experiments:
+	$(GO) run ./cmd/aitax-experiments
+
+# CI-style gate: exit non-zero if any paper shape check regressed.
+validate:
+	$(GO) run ./cmd/aitax-validate
+
+# Refresh the committed reference results (docs/RESULTS.txt).
+results:
+	mkdir -p docs
+	$(GO) run ./cmd/aitax-experiments -runs 50 > docs/RESULTS.txt
+	$(GO) run ./cmd/aitax-experiments -runs 50 -format markdown > docs/RESULTS.md
+
+examples:
+	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d >/dev/null || exit 1; done; echo all examples ran
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,310 @@
+// Package aitax is a library for end-to-end performance analysis of
+// machine learning on mobile SoCs, reproducing "AI Tax in Mobile SoCs"
+// (Buch, Azad, Joshi, Janapa Reddi — ISPASS 2021) on a deterministic
+// simulated platform.
+//
+// The paper's thesis: the time an ML application spends *outside* model
+// inference — data capture, pre-/post-processing, framework scheduling,
+// accelerator offload, cold start, multi-tenancy contention and
+// run-to-run variability — is a first-class performance quantity, the
+// "AI tax", that inference-only benchmarks miss.
+//
+// This package is the public face of the repository. It re-exports the
+// building blocks (model zoo, simulated Snapdragon platforms, a
+// TFLite-style runtime with CPU/GPU/Hexagon/NNAPI delegates, an
+// instrumented Android-app pipeline) and offers one-call helpers for
+// the common measurements. The experiment harness in internal/bench
+// regenerates every table and figure of the paper; see EXPERIMENTS.md.
+//
+// Quickstart:
+//
+//	breakdown, err := aitax.MeasureApp(aitax.AppOptions{
+//		Model:    "MobileNet 1.0 v1",
+//		DType:    aitax.UInt8,
+//		Delegate: aitax.DelegateNNAPI,
+//		Frames:   50,
+//	})
+//	fmt.Println(breakdown.Render()) // per-stage latency + AI tax share
+package aitax
+
+import (
+	"aitax/internal/app"
+	"aitax/internal/bench"
+	"aitax/internal/core"
+	"aitax/internal/driver"
+	"aitax/internal/models"
+	"aitax/internal/nnapi"
+	"aitax/internal/snpe"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
+	"aitax/internal/workload"
+)
+
+// Model zoo (paper Table I).
+type (
+	// Model is one Table-I benchmark model: graph, pipeline spec,
+	// support matrix.
+	Model = models.Model
+	// Task is the model's ML task category.
+	Task = models.Task
+	// Support is the Table-I framework/precision support matrix.
+	Support = models.Support
+)
+
+// Models returns the Table-I model zoo in row order.
+func Models() []*Model { return models.All() }
+
+// ModelByName looks a model up by its Table-I name.
+func ModelByName(name string) (*Model, error) { return models.ByName(name) }
+
+// ModelNames lists the zoo's names in Table-I order.
+func ModelNames() []string { return models.Names() }
+
+// Platforms (paper Table II).
+type (
+	// SoC is one simulated hardware platform.
+	SoC = soc.SoC
+	// Device is one compute unit on a platform.
+	Device = soc.Device
+)
+
+// Platforms returns the four Table-II platforms.
+func Platforms() []*SoC { return soc.Platforms() }
+
+// PlatformByName finds a platform by product or chipset name.
+func PlatformByName(name string) (*SoC, error) { return soc.PlatformByName(name) }
+
+// Pixel3 returns the paper's primary platform (Snapdragon 845).
+func Pixel3() *SoC { return soc.Pixel3() }
+
+// Element types.
+type DType = tensor.DType
+
+// Element type constants.
+const (
+	Float32 = tensor.Float32
+	Int8    = tensor.Int8
+	UInt8   = tensor.UInt8
+)
+
+// Runtime plumbing.
+type (
+	// Runtime is one simulated process's execution stack.
+	Runtime = tflite.Runtime
+	// Interpreter executes one model with one delegate configuration.
+	Interpreter = tflite.Interpreter
+	// InterpreterOptions configure an interpreter.
+	InterpreterOptions = tflite.Options
+	// Delegate selects the execution path.
+	Delegate = tflite.Delegate
+	// BenchTool is the TFLite benchmark-utility model.
+	BenchTool = tflite.BenchTool
+	// RunSample is one measured benchmark iteration.
+	RunSample = tflite.RunSample
+	// StdLib selects the C++ standard library the benchmark binary was
+	// compiled against (libc++ vs libstdc++).
+	StdLib = tflite.StdLib
+	// InvokeReport describes one inference invocation.
+	InvokeReport = tflite.Report
+	// NNAPI is the modeled Android Neural Networks API runtime.
+	NNAPI = nnapi.Framework
+	// SNPE is the modeled vendor (Qualcomm) framework.
+	SNPE = snpe.SDK
+	// SNPERuntime selects an SNPE execution runtime (CPU/GPU/DSP).
+	SNPERuntime = snpe.RuntimeKind
+	// ExecResult describes how a delegate execution spent its time.
+	ExecResult = driver.Result
+)
+
+// SNPE runtime constants.
+const (
+	SNPECPU = snpe.RuntimeCPU
+	SNPEGPU = snpe.RuntimeGPU
+	SNPEDSP = snpe.RuntimeDSP
+)
+
+// Standard-library constants.
+const (
+	LibCXX    = tflite.LibCXX
+	LibStdCXX = tflite.LibStdCXX
+)
+
+// Delegate constants.
+const (
+	DelegateCPU     = tflite.DelegateCPU
+	DelegateGPU     = tflite.DelegateGPU
+	DelegateHexagon = tflite.DelegateHexagon
+	DelegateNNAPI   = tflite.DelegateNNAPI
+)
+
+// NewStack builds a fresh simulated process (engine, scheduler, runtime)
+// on the platform.
+func NewStack(platform *SoC, seed uint64) *Runtime { return tflite.NewStack(platform, seed) }
+
+// Application pipeline.
+type (
+	// App is the instrumented Android-application pipeline.
+	App = app.App
+	// AppConfig configures an App.
+	AppConfig = app.Config
+	// FrameStats is one frame's per-stage latency breakdown.
+	FrameStats = app.FrameStats
+	// Background is a set of multi-tenant background inference jobs.
+	Background = workload.Background
+)
+
+// NewApp builds an application on a runtime.
+func NewApp(rt *Runtime, cfg AppConfig) (*App, error) { return app.New(rt, cfg) }
+
+// StartBackground launches background inference jobs (multi-tenancy).
+func StartBackground(rt *Runtime, m *Model, dt DType, d Delegate, count int) (*Background, error) {
+	return workload.Start(rt, m, dt, d, count)
+}
+
+// AI-tax accounting (paper Fig. 1).
+type (
+	// Breakdown is an aggregated per-stage latency account.
+	Breakdown = core.Breakdown
+	// TaxonomyComponent is one leaf of the Fig. 1 overhead taxonomy.
+	TaxonomyComponent = core.Component
+)
+
+// TaxBreakdown aggregates instrumented frames into a stage breakdown.
+func TaxBreakdown(frames []FrameStats) Breakdown { return core.FromFrames(frames) }
+
+// Taxonomy returns the Fig. 1 AI-tax taxonomy.
+func Taxonomy() []TaxonomyComponent { return core.Taxonomy() }
+
+// RenderTaxonomy draws the Fig. 1 tree as text.
+func RenderTaxonomy() string { return core.RenderTaxonomy() }
+
+// Experiments (tables and figures).
+type (
+	// Experiment regenerates one table or figure of the paper.
+	Experiment = bench.Experiment
+	// ExperimentConfig parameterizes an experiment run.
+	ExperimentConfig = bench.Config
+	// ExperimentResult is a regenerated artifact.
+	ExperimentResult = bench.Result
+)
+
+// Experiments lists every regenerable table and figure in paper order.
+func Experiments() []Experiment { return bench.Experiments() }
+
+// ExperimentByID finds an experiment ("table1", "fig5", ...).
+func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }
+
+// AppOptions configure MeasureApp.
+type AppOptions struct {
+	// Model is the Table-I model name.
+	Model string
+	// DType is the precision (Float32 or UInt8).
+	DType DType
+	// Delegate is the execution path (default NNAPI).
+	Delegate Delegate
+	// Frames is the number of measured frames (default 50).
+	Frames int
+	// WarmupFrames are discarded before measuring (default 2).
+	WarmupFrames int
+	// Platform defaults to the Pixel 3.
+	Platform *SoC
+	// Seed fixes the run's stochastic behaviour (default 42).
+	Seed uint64
+	// BackgroundJobs adds multi-tenant load on BackgroundDelegate.
+	BackgroundJobs     int
+	BackgroundDelegate Delegate
+	// StdLib selects the benchmark binary's C++ standard library, which
+	// flips the random-generation cost asymmetry (§IV-A). Applies to
+	// MeasureBenchmark only.
+	StdLib StdLib
+}
+
+// MeasureApp runs the instrumented application end to end on the
+// simulated platform and returns the per-stage AI-tax breakdown — the
+// library's one-call answer to "where does my ML app's time go?".
+func MeasureApp(opts AppOptions) (Breakdown, error) {
+	frames, err := MeasureAppFrames(opts)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return core.FromFrames(frames), nil
+}
+
+// MeasureBenchmark runs the TFLite-style benchmark utility for the same
+// model and returns its per-run samples — the inference-only view the
+// paper contrasts applications against.
+func MeasureBenchmark(opts AppOptions) ([]RunSample, error) {
+	if opts.Platform == nil {
+		opts.Platform = soc.Pixel3()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Frames == 0 {
+		opts.Frames = 50
+	}
+	m, err := models.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	rt := tflite.NewStack(opts.Platform, opts.Seed)
+	ip, err := rt.NewInterpreter(m, opts.DType, tflite.Options{Delegate: opts.Delegate})
+	if err != nil {
+		return nil, err
+	}
+	bt := tflite.NewBenchTool(rt, ip)
+	bt.StdLib = opts.StdLib
+	var samples []tflite.RunSample
+	bt.Run(opts.Frames, func(s []tflite.RunSample) { samples = s })
+	rt.Eng.Run()
+	return samples, nil
+}
+
+// MeasureAppFrames is MeasureApp returning the raw per-frame stage
+// breakdowns instead of the aggregate (for CSV export and custom
+// analyses).
+func MeasureAppFrames(opts AppOptions) ([]FrameStats, error) {
+	if opts.Platform == nil {
+		opts.Platform = soc.Pixel3()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Frames == 0 {
+		opts.Frames = 50
+	}
+	if opts.WarmupFrames == 0 {
+		opts.WarmupFrames = 2
+	}
+	m, err := models.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	rt := tflite.NewStack(opts.Platform, opts.Seed)
+	a, err := app.New(rt, app.Config{
+		Model: m, DType: opts.DType, Delegate: opts.Delegate, Streaming: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bg *workload.Background
+	if opts.BackgroundJobs > 0 {
+		bg, err = workload.Start(rt, m, opts.DType, opts.BackgroundDelegate, opts.BackgroundJobs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var frames []app.FrameStats
+	a.Init(func() {
+		a.Run(opts.Frames+opts.WarmupFrames, func(sts []app.FrameStats) {
+			frames = sts[opts.WarmupFrames:]
+			a.StopStream()
+			if bg != nil {
+				bg.Stop()
+			}
+		})
+	})
+	rt.Eng.Run()
+	return frames, nil
+}

@@ -1,0 +1,142 @@
+package aitax_test
+
+import (
+	"strings"
+	"testing"
+
+	"aitax"
+)
+
+func TestModelsFacade(t *testing.T) {
+	if len(aitax.Models()) != 11 {
+		t.Fatalf("models = %d", len(aitax.Models()))
+	}
+	m, err := aitax.ModelByName("MobileNet 1.0 v1")
+	if err != nil || m.Task != "Classification" {
+		t.Fatalf("lookup: %v %v", m, err)
+	}
+	if len(aitax.ModelNames()) != 11 {
+		t.Fatal("names facade broken")
+	}
+}
+
+func TestPlatformsFacade(t *testing.T) {
+	if len(aitax.Platforms()) != 4 {
+		t.Fatal("platforms facade broken")
+	}
+	p := aitax.Pixel3()
+	if p.Chipset != "Snapdragon 845" {
+		t.Fatalf("pixel3 = %s", p.Chipset)
+	}
+	if _, err := aitax.PlatformByName("Snapdragon 865"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureApp(t *testing.T) {
+	b, err := aitax.MeasureApp(aitax.AppOptions{
+		Model:    "MobileNet 1.0 v1",
+		DType:    aitax.UInt8,
+		Delegate: aitax.DelegateNNAPI,
+		Frames:   15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 15 {
+		t.Fatalf("frames = %d", b.N)
+	}
+	if b.TaxFraction() <= 0.3 {
+		t.Fatalf("tax fraction = %v, want the tax to be a major share", b.TaxFraction())
+	}
+	if !strings.Contains(b.Render(), "AI tax") {
+		t.Fatal("render missing tax line")
+	}
+}
+
+func TestMeasureAppErrors(t *testing.T) {
+	if _, err := aitax.MeasureApp(aitax.AppOptions{Model: "nope"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := aitax.MeasureApp(aitax.AppOptions{
+		Model: "AlexNet", DType: aitax.Float32, Delegate: aitax.DelegateNNAPI,
+	}); err == nil {
+		t.Fatal("Table-I-unsupported combo accepted")
+	}
+}
+
+func TestMeasureBenchmark(t *testing.T) {
+	samples, err := aitax.MeasureBenchmark(aitax.AppOptions{
+		Model:    "MobileNet 1.0 v1",
+		DType:    aitax.Float32,
+		Delegate: aitax.DelegateCPU,
+		Frames:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 10 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+}
+
+func TestMeasureAppWithBackground(t *testing.T) {
+	quiet, err := aitax.MeasureApp(aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.UInt8,
+		Delegate: aitax.DelegateNNAPI, Frames: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := aitax.MeasureApp(aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.UInt8,
+		Delegate: aitax.DelegateNNAPI, Frames: 10,
+		BackgroundJobs: 3, BackgroundDelegate: aitax.DelegateHexagon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ModelExecution <= quiet.ModelExecution {
+		t.Fatal("DSP tenancy must stretch inference")
+	}
+}
+
+func TestTaxonomyFacade(t *testing.T) {
+	if len(aitax.Taxonomy()) != 9 {
+		t.Fatal("taxonomy facade broken")
+	}
+	if !strings.Contains(aitax.RenderTaxonomy(), "Algorithms") {
+		t.Fatal("taxonomy render broken")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	if len(aitax.Experiments()) != 28 {
+		t.Fatalf("experiments = %d", len(aitax.Experiments()))
+	}
+	e, err := aitax.ExperimentByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(aitax.ExperimentConfig{Runs: 5})
+	if len(res.Rows) != 11 {
+		t.Fatal("table1 via facade broken")
+	}
+}
+
+func TestDirectStackUse(t *testing.T) {
+	rt := aitax.NewStack(aitax.Pixel3(), 7)
+	m, _ := aitax.ModelByName("SSD MobileNet v2")
+	ip, err := rt.NewInterpreter(m, aitax.UInt8, aitax.InterpreterOptions{Delegate: aitax.DelegateHexagon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	ip.Init(func() {
+		ip.Invoke(func(aitax.InvokeReport) { ran = true })
+	})
+	rt.Eng.Run()
+	if !ran {
+		t.Fatal("invoke did not run")
+	}
+}

@@ -1,0 +1,108 @@
+// Command aitax-app runs the instrumented Android-application pipeline
+// for one model and prints the per-stage AI-tax breakdown, optionally
+// under multi-tenant background load.
+//
+// Usage:
+//
+//	aitax-app -model "MobileNet 1.0 v1" -dtype int8 -delegate nnapi -frames 100
+//	aitax-app -model "MobileNet 1.0 v1" -dtype int8 -bg 3 -bgdelegate hexagon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aitax"
+)
+
+func main() {
+	model := flag.String("model", "MobileNet 1.0 v1", "Table-I model name")
+	dtype := flag.String("dtype", "int8", "precision: fp32 | int8")
+	delegate := flag.String("delegate", "nnapi", "delegate: cpu | gpu | hexagon | nnapi")
+	frames := flag.Int("frames", 100, "measured frames")
+	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	bg := flag.Int("bg", 0, "background inference jobs (multi-tenancy)")
+	bgDelegate := flag.String("bgdelegate", "hexagon", "background delegate")
+	taxonomy := flag.Bool("taxonomy", false, "print the Fig. 1 AI-tax taxonomy and exit")
+	csvPath := flag.String("csv", "", "write per-frame stage breakdowns to this CSV file")
+	flag.Parse()
+
+	if *taxonomy {
+		fmt.Print(aitax.RenderTaxonomy())
+		return
+	}
+
+	dt, err := parseDType(*dtype)
+	check(err)
+	d, err := parseDelegate(*delegate)
+	check(err)
+	bgd, err := parseDelegate(*bgDelegate)
+	check(err)
+	p, err := aitax.PlatformByName(*platform)
+	check(err)
+
+	opts := aitax.AppOptions{
+		Model: *model, DType: dt, Delegate: d,
+		Frames: *frames, Platform: p, Seed: *seed,
+		BackgroundJobs: *bg, BackgroundDelegate: bgd,
+	}
+	perFrame, err := aitax.MeasureAppFrames(opts)
+	check(err)
+	breakdown := aitax.TaxBreakdown(perFrame)
+
+	fmt.Printf("application: model=%q dtype=%s delegate=%s platform=%q background=%d\n",
+		*model, dt, d, p.Name, *bg)
+	fmt.Print(breakdown.Render())
+	fmt.Printf("e2e distribution: %s\n", breakdown.E2E)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		check(err)
+		defer f.Close()
+		fmt.Fprintln(f, "frame,capture_ms,pre_ms,inference_ms,post_ms,ui_ms,total_ms")
+		for i, st := range perFrame {
+			fmt.Fprintf(f, "%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", i,
+				msf(st.Capture), msf(st.Pre), msf(st.Inference),
+				msf(st.Post), msf(st.UI), msf(st.Total))
+		}
+		fmt.Printf("wrote %d frame rows to %s\n", len(perFrame), *csvPath)
+	}
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func parseDType(s string) (aitax.DType, error) {
+	switch s {
+	case "fp32", "float32":
+		return aitax.Float32, nil
+	case "int8", "uint8", "quant":
+		return aitax.UInt8, nil
+	default:
+		return aitax.Float32, fmt.Errorf("unknown dtype %q (fp32|int8)", s)
+	}
+}
+
+func parseDelegate(s string) (aitax.Delegate, error) {
+	switch s {
+	case "cpu":
+		return aitax.DelegateCPU, nil
+	case "gpu":
+		return aitax.DelegateGPU, nil
+	case "hexagon", "dsp":
+		return aitax.DelegateHexagon, nil
+	case "nnapi":
+		return aitax.DelegateNNAPI, nil
+	default:
+		return aitax.DelegateCPU, fmt.Errorf("unknown delegate %q (cpu|gpu|hexagon|nnapi)", s)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command aitax-bench is the analogue of the TFLite command-line
+// benchmark utility: it runs one model through one delegate for N
+// measured iterations and prints per-stage means and the latency
+// distribution.
+//
+// Usage:
+//
+//	aitax-bench -model "MobileNet 1.0 v1" -dtype int8 -delegate nnapi -runs 100
+//	aitax-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aitax"
+	"aitax/internal/stats"
+)
+
+func parseDType(s string) (aitax.DType, error) {
+	switch s {
+	case "fp32", "float32":
+		return aitax.Float32, nil
+	case "int8", "uint8", "quant":
+		return aitax.UInt8, nil
+	default:
+		return aitax.Float32, fmt.Errorf("unknown dtype %q (fp32|int8)", s)
+	}
+}
+
+func parseDelegate(s string) (aitax.Delegate, error) {
+	switch s {
+	case "cpu":
+		return aitax.DelegateCPU, nil
+	case "gpu":
+		return aitax.DelegateGPU, nil
+	case "hexagon", "dsp":
+		return aitax.DelegateHexagon, nil
+	case "nnapi":
+		return aitax.DelegateNNAPI, nil
+	default:
+		return aitax.DelegateCPU, fmt.Errorf("unknown delegate %q (cpu|gpu|hexagon|nnapi)", s)
+	}
+}
+
+func main() {
+	model := flag.String("model", "MobileNet 1.0 v1", "Table-I model name")
+	dtype := flag.String("dtype", "fp32", "precision: fp32 | int8")
+	delegate := flag.String("delegate", "cpu", "delegate: cpu | gpu | hexagon | nnapi")
+	runs := flag.Int("runs", 100, "measured iterations (paper: 500)")
+	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	list := flag.Bool("list", false, "list model names and exit")
+	stdlib := flag.String("stdlib", "libc++", "C++ standard library: libc++ | libstdc++ (flips random-gen cost, §IV-A)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range aitax.ModelNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	dt, err := parseDType(*dtype)
+	check(err)
+	d, err := parseDelegate(*delegate)
+	check(err)
+	p, err := aitax.PlatformByName(*platform)
+	check(err)
+
+	lib := aitax.LibCXX
+	if *stdlib == "libstdc++" {
+		lib = aitax.LibStdCXX
+	}
+	samples, err := aitax.MeasureBenchmark(aitax.AppOptions{
+		Model: *model, DType: dt, Delegate: d,
+		Frames: *runs, Platform: p, Seed: *seed, StdLib: lib,
+	})
+	check(err)
+
+	var cap, pre, inf, total time.Duration
+	dist := stats.NewSample()
+	for _, s := range samples {
+		cap += s.DataCapture
+		pre += s.Pre
+		inf += s.Inference
+		total += s.Total
+		dist.Add(float64(s.Total) / float64(time.Millisecond))
+	}
+	n := time.Duration(len(samples))
+	fmt.Printf("model=%q dtype=%s delegate=%s platform=%q runs=%d\n",
+		*model, dt, d, p.Name, len(samples))
+	fmt.Printf("  input generation : %8.3f ms\n", ms(cap/n))
+	fmt.Printf("  pre-processing   : %8.3f ms\n", ms(pre/n))
+	fmt.Printf("  inference        : %8.3f ms\n", ms(inf/n))
+	fmt.Printf("  total            : %8.3f ms\n", ms(total/n))
+	fmt.Printf("  distribution     : %s\n", dist.Summarize())
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

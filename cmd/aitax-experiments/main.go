@@ -1,0 +1,72 @@
+// Command aitax-experiments regenerates the paper's tables and figures
+// on the simulated platform.
+//
+// Usage:
+//
+//	aitax-experiments                 # run everything
+//	aitax-experiments -run fig5       # one experiment
+//	aitax-experiments -list           # list experiment ids
+//	aitax-experiments -runs 100 -platform "Snapdragon 855" -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aitax"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	runs := flag.Int("runs", 50, "iterations per configuration (paper: 500)")
+	format := flag.String("format", "text", "output format: text | markdown | csv")
+	platform := flag.String("platform", "Google Pixel 3", "platform name or chipset (Table II)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range aitax.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	p, err := aitax.PlatformByName(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, Runs: *runs}
+
+	var selected []aitax.Experiment
+	if *run == "all" {
+		selected = aitax.Experiments()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := aitax.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *format == "text" {
+		fmt.Printf("platform: %s (%s) | seed %d | %d runs/config\n\n", p.Name, p.Chipset, *seed, *runs)
+	}
+	for _, e := range selected {
+		res := e.Run(cfg)
+		switch *format {
+		case "markdown":
+			fmt.Print(res.RenderMarkdown())
+		case "csv":
+			fmt.Print(res.RenderCSV())
+		default:
+			fmt.Println(res.Render())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command aitax-profile renders Snapdragon-Profiler-style execution
+// timelines (per-core utilization, DSP occupancy, migrations) for one
+// model/delegate configuration — the Fig. 6 view.
+//
+// Usage:
+//
+//	aitax-profile -model "EfficientNet-Lite0" -dtype int8 -delegate nnapi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aitax"
+	"aitax/internal/models"
+	"aitax/internal/sim"
+	"aitax/internal/tflite"
+	"aitax/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "EfficientNet-Lite0", "Table-I model name")
+	dtype := flag.String("dtype", "int8", "precision: fp32 | int8")
+	delegate := flag.String("delegate", "nnapi", "delegate: cpu | gpu | hexagon | nnapi")
+	horizonMS := flag.Int("horizon", 600, "profile window in virtual milliseconds")
+	bucketMS := flag.Float64("bucket", 2, "timeline bucket in milliseconds")
+	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	chromeOut := flag.String("chrome", "", "also write a chrome://tracing JSON file to this path")
+	flag.Parse()
+
+	dt := aitax.Float32
+	if *dtype == "int8" || *dtype == "uint8" || *dtype == "quant" {
+		dt = aitax.UInt8
+	}
+	var d aitax.Delegate
+	switch *delegate {
+	case "cpu":
+		d = aitax.DelegateCPU
+	case "gpu":
+		d = aitax.DelegateGPU
+	case "hexagon", "dsp":
+		d = aitax.DelegateHexagon
+	case "nnapi":
+		d = aitax.DelegateNNAPI
+	default:
+		fmt.Fprintf(os.Stderr, "unknown delegate %q\n", *delegate)
+		os.Exit(1)
+	}
+
+	p, err := aitax.PlatformByName(*platform)
+	check(err)
+	m, err := models.ByName(*model)
+	check(err)
+
+	rt := tflite.NewStack(p, *seed)
+	prof := trace.NewProfiler(rt.Eng, time.Duration(*bucketMS*float64(time.Millisecond)))
+	prof.Attach(rt.Sch)
+	var chrome *trace.ChromeRecorder
+	if *chromeOut != "" {
+		chrome = trace.NewChromeRecorder()
+		chrome.Attach(rt.Sch)
+	}
+	prof.TrackResource("cdsp", rt.DSP)
+	prof.TrackResource("gpu", rt.GPUQueue)
+
+	ip, err := rt.NewInterpreter(m, dt, tflite.Options{Delegate: d})
+	check(err)
+
+	horizon := time.Duration(*horizonMS) * time.Millisecond
+	invocations := 0
+	ip.Init(func() {
+		prof.StartSampling(horizon)
+		var loop func()
+		loop = func() {
+			if rt.Eng.Now().Duration() >= horizon {
+				return
+			}
+			ip.Invoke(func(tflite.Report) {
+				invocations++
+				loop()
+			})
+		}
+		loop()
+	})
+	rt.Eng.RunUntil(sim.Time(0).Add(horizon))
+
+	fmt.Printf("profile: model=%q dtype=%s delegate=%s platform=%q window=%v\n",
+		*model, dt, d, p.Name, horizon)
+	fmt.Printf("completed invocations in window: %d\n\n", invocations)
+	fmt.Print(prof.Render())
+
+	if chrome != nil {
+		f, err := os.Create(*chromeOut)
+		check(err)
+		defer f.Close()
+		check(chrome.WriteJSON(f))
+		fmt.Printf("\nchrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Command aitax-validate runs every experiment and reports the status of
+// each embedded shape check against the paper — a CI-style gate for the
+// reproduction ("did the Fig. 5 cliff regress?") without running the
+// full Go test suite.
+//
+//	aitax-validate            # exit 0 iff every shape check passes
+//	aitax-validate -runs 100  # higher-precision run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aitax"
+)
+
+func main() {
+	runs := flag.Int("runs", 24, "iterations per configuration")
+	seed := flag.Uint64("seed", 42, "random seed")
+	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
+	flag.Parse()
+
+	p, err := aitax.PlatformByName(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, Runs: *runs}
+
+	failures := 0
+	checks := 0
+	for _, e := range aitax.Experiments() {
+		res := e.Run(cfg)
+		status := "ok    " // experiments without an explicit check still ran
+		var failing []string
+		for _, n := range res.Notes {
+			if strings.Contains(n, "shape check PASS") {
+				checks++
+				status = "PASS  "
+			}
+			if strings.Contains(n, "FAIL") || strings.Contains(n, "setup failed") {
+				checks++
+				failures++
+				status = "FAIL  "
+				failing = append(failing, n)
+			}
+		}
+		fmt.Printf("%s %-20s %s\n", status, e.ID, e.Title)
+		for _, f := range failing {
+			fmt.Printf("        %s\n", f)
+		}
+	}
+	fmt.Printf("\n%d experiments, %d explicit shape checks, %d failures\n",
+		len(aitax.Experiments()), checks, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

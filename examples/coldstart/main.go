@@ -1,0 +1,62 @@
+// Cold start and benchmark pitfalls: §IV-C as a runnable scenario. The
+// first accelerated inference a user triggers pays model load, delegate
+// compilation, AND the FastRPC session setup; a benchmark that warms up
+// first reports none of it.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aitax"
+)
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func main() {
+	model, err := aitax.ModelByName("MobileNet 1.0 v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("first-use cost of quantized MobileNet v1 on the Hexagon DSP:")
+	rt := aitax.NewStack(aitax.Pixel3(), 42)
+	ip, err := rt.NewInterpreter(model, aitax.UInt8,
+		aitax.InterpreterOptions{Delegate: aitax.DelegateHexagon})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var coldLatency, warmLatency time.Duration
+	ip.Init(func() {
+		start := rt.Eng.Now()
+		ip.Invoke(func(aitax.InvokeReport) {
+			coldLatency = rt.Eng.Now().Sub(start)
+			warmStart := rt.Eng.Now()
+			ip.Invoke(func(aitax.InvokeReport) {
+				warmLatency = rt.Eng.Now().Sub(warmStart)
+			})
+		})
+	})
+	rt.Eng.Run()
+
+	fmt.Printf("  model load + delegate compile : %8.2f ms (once per load)\n", ms(ip.InitTime))
+	fmt.Printf("  first inference (cold DSP)    : %8.2f ms\n", ms(coldLatency))
+	fmt.Printf("  steady-state inference        : %8.2f ms\n", ms(warmLatency))
+	fmt.Printf("  cold/warm                     : %8.1fx\n",
+		float64(coldLatency)/float64(warmLatency))
+
+	fmt.Println("\nwhat the user feels on first camera open vs what a warmed-up")
+	fmt.Println("benchmark reports differ by more than an order of magnitude (§IV-C).")
+
+	// The random-generation pitfall, run as the experiment artifact.
+	e, err := aitax.ExperimentByID("stdlib")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(e.Run(aitax.ExperimentConfig{}).Render())
+}

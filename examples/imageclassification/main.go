@@ -1,0 +1,60 @@
+// Image classification end to end: the paper's §II pipeline, executed
+// for real — synthetic camera frame → bitmap formatting → crop → scale →
+// normalize → (simulated) inference → topK — with the per-stage tax
+// measured on the simulated SoC.
+//
+//	go run ./examples/imageclassification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aitax"
+)
+
+func main() {
+	model, err := aitax.ModelByName("MobileNet 1.0 v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The real pipeline, on real buffers -------------------------
+	frame := aitax.SyntheticFrame(480, 360, 1)
+	bitmap := aitax.YUVToARGB(frame) // "bitmap formatting" (§II-B)
+
+	spec := model.PreSpec(aitax.Float32)
+	input, work := spec.Run(bitmap)
+	fmt.Printf("pre-processing %q (%s): %v -> input tensor %v (%d ops)\n",
+		model.Name, spec.Tasks(), fmt.Sprintf("%dx%d", bitmap.Width, bitmap.Height),
+		input.Shape, work.Ops)
+
+	// Inference is costed on the simulator; outputs are fabricated so
+	// the real post-processing below has non-trivial input.
+	outputs := aitax.FabricateOutputs(model, aitax.Float32, 7)
+	top := aitax.TopK(outputs[0], 5)
+	fmt.Println("top-5 predictions (class index : score):")
+	for _, c := range top {
+		fmt.Printf("  %4d : %.3f\n", c.Index, c.Score)
+	}
+
+	// --- The same pipeline inside an instrumented app ---------------
+	for _, cfg := range []struct {
+		label    string
+		dt       aitax.DType
+		delegate aitax.Delegate
+	}{
+		{"fp32 on CPU", aitax.Float32, aitax.DelegateCPU},
+		{"fp32 via NNAPI (GPU)", aitax.Float32, aitax.DelegateNNAPI},
+		{"int8 via NNAPI (DSP)", aitax.UInt8, aitax.DelegateNNAPI},
+		{"int8 via Hexagon delegate", aitax.UInt8, aitax.DelegateHexagon},
+	} {
+		b, err := aitax.MeasureApp(aitax.AppOptions{
+			Model: model.Name, DType: cfg.dt, Delegate: cfg.delegate, Frames: 60,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n%s", cfg.label, b.Render())
+	}
+}

@@ -1,0 +1,64 @@
+// Sentiment analysis with Mobile BERT: the Table-I language-processing
+// workload. Pre-processing here is tokenization rather than image work —
+// cheap — so the AI tax shifts almost entirely into the framework: the
+// transformer ops have no NNAPI driver support on this SoC and the whole
+// graph runs on the CPU fallback, whichever delegate is requested.
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aitax"
+)
+
+func main() {
+	model, err := aitax.ModelByName("Mobile BERT")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Real tokenization through the model's pre-processing spec.
+	reviews := []string{
+		"the camera quality on this phone is great and the battery works well",
+		"this app is slow and the screen is bad",
+	}
+	for _, text := range reviews {
+		spec := model.PreSpec(aitax.Float32)
+		spec.SampleText = text
+		ids, w := spec.Run(nil)
+		fmt.Printf("%q\n  -> %d token ids (first 10: %v), %d tokenizer ops\n",
+			text, ids.Elems(), ids.I32[:10], w.Ops)
+
+		outs := aitax.FabricateOutputs(model, aitax.Float32, uint64(len(text)))
+		probs := aitax.Softmax([]float64{float64(outs[0].F32[0]), float64(outs[0].F32[1])})
+		label := "positive"
+		if probs[0] > probs[1] {
+			label = "negative"
+		}
+		fmt.Printf("  -> %s (p=%.2f)\n", label, probs[1])
+	}
+
+	// Where the time goes: compare CPU and NNAPI end to end.
+	fmt.Println()
+	for _, d := range []struct {
+		label    string
+		delegate aitax.Delegate
+	}{
+		{"CPU (4 threads)", aitax.DelegateCPU},
+		{"NNAPI", aitax.DelegateNNAPI},
+	} {
+		b, err := aitax.MeasureApp(aitax.AppOptions{
+			Model: model.Name, DType: aitax.Float32, Delegate: d.delegate, Frames: 40,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n%s\n", d.label, b.Render())
+	}
+	fmt.Println("transformer ops (BATCH_MATMUL, LAYER_NORM, GELU) have no vendor")
+	fmt.Println("driver support, so NNAPI silently runs BERT on its CPU fallback —")
+	fmt.Println("transparency the paper's framework takeaway calls for.")
+}

@@ -1,0 +1,3 @@
+module aitax
+
+go 1.22

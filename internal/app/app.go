@@ -1,0 +1,385 @@
+// Package app models the real Android application form factor the paper
+// contrasts with benchmarks: a camera preview stream that keeps a CPU
+// thread busy converting frames whether or not anyone consumes them,
+// per-pixel managed-code pre-processing, inference through a chosen
+// delegate, task-specific post-processing, UI rendering with jitter, and
+// periodic GC pauses. These are the mechanisms behind the paper's
+// app-vs-benchmark gaps (Fig. 3), the data-capture/pre-processing tax
+// (Fig. 4), the multi-tenancy curves (Figs. 9/10) and the latency
+// distributions (Fig. 11).
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"aitax/internal/capture"
+	"aitax/internal/fastrpc"
+	"aitax/internal/models"
+	"aitax/internal/postproc"
+	"aitax/internal/sched"
+	"aitax/internal/sim"
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
+	"aitax/internal/work"
+)
+
+// ManagedEfficiency is the throughput derating of per-pixel managed
+// (Java/Kotlin) image code relative to the device's scalar rate. The
+// classification and pose demo apps process bitmaps this way.
+const ManagedEfficiency = 0.11
+
+// NativeEfficiency applies to support-library pipelines implemented as
+// vectorized native ops (the segmentation demo).
+const NativeEfficiency = 0.9
+
+// Config selects what the app runs.
+type Config struct {
+	Model    *models.Model
+	DType    tensor.DType
+	Delegate tflite.Delegate
+	Threads  int
+	// Streaming keeps the camera-conversion thread busy in the
+	// background, the default for a preview app.
+	Streaming bool
+	// RealPostprocess executes the actual post-processing algorithms on
+	// fabricated model outputs in addition to costing them in virtual
+	// time (used by the runnable examples).
+	RealPostprocess bool
+	// PreOnDSP offloads the pre-processing stage to the DSP through
+	// FastRPC (a FastCV-style pipeline) — the jointly-accelerate-the-
+	// mundane-stages direction the paper's conclusion proposes. The DSP
+	// crunches pixels far faster than managed CPU code, but each frame
+	// pays the RPC transport and the stage now contends with any
+	// inference sharing the DSP.
+	PreOnDSP bool
+}
+
+// FrameStats is the per-frame stage breakdown an instrumented app
+// reports — the quantities Figs. 4, 9 and 10 plot.
+type FrameStats struct {
+	Capture   time.Duration // sensor latency + bitmap formatting
+	Pre       time.Duration // scale/crop/normalize/rotate/convert
+	Inference time.Duration
+	Post      time.Duration
+	UI        time.Duration
+	Total     time.Duration
+}
+
+// Tax returns the non-inference share of the frame (the AI tax).
+func (f FrameStats) Tax() time.Duration { return f.Total - f.Inference }
+
+// App is one running application instance.
+type App struct {
+	rt     *tflite.Runtime
+	cam    *capture.Camera
+	imu    *capture.IMU
+	ip     *tflite.Interpreter
+	cfg    Config
+	preRPC *fastrpc.Channel // non-nil when PreOnDSP
+
+	camThread  *sched.Thread
+	preThread  *sched.Thread
+	postThread *sched.Thread
+	uiThread   *sched.Thread
+
+	// UIBase is the per-frame result-rendering cost.
+	UIBase time.Duration
+	// UIJitterCV spreads UI time (compositor alignment, binder).
+	UIJitterCV float64
+	// GCPeriod triggers a collector pause every N frames; GCPause is its
+	// length.
+	GCPeriod int
+	GCPause  time.Duration
+	// FrameInterval paces the background preview stream (30 fps).
+	FrameInterval time.Duration
+
+	frames    int
+	streaming bool
+}
+
+// New builds an app around a runtime.
+func New(rt *tflite.Runtime, cfg Config) (*App, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("app: config needs a model")
+	}
+	ip, err := rt.NewInterpreter(cfg.Model, cfg.DType, tflite.Options{
+		Delegate: cfg.Delegate,
+		Threads:  cfg.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &App{
+		rt:  rt,
+		cam: capture.NewCamera(rt.Eng, rt.RNG, capture.DefaultPreviewW, capture.DefaultPreviewH),
+		imu: capture.NewIMU(rt.Eng, rt.RNG),
+		ip:  ip,
+		cfg: cfg,
+
+		// The conversion thread is heavy enough that EAS keeps it on the
+		// big cluster, where it contends with CPU inference (Fig. 3).
+		camThread:  rt.Sch.Spawn("app-camera", sched.BigOnly),
+		preThread:  rt.Sch.Spawn("app-pre", nil),
+		postThread: rt.Sch.Spawn("app-post", nil),
+		uiThread:   rt.Sch.Spawn("app-ui", nil),
+
+		UIBase:        4 * time.Millisecond,
+		UIJitterCV:    0.3,
+		GCPeriod:      17,
+		GCPause:       7 * time.Millisecond,
+		FrameInterval: 33 * time.Millisecond,
+	}
+	if cfg.PreOnDSP {
+		a.preRPC = fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
+	}
+	return a, nil
+}
+
+// Interpreter exposes the app's interpreter (for init-time inspection).
+func (a *App) Interpreter() *tflite.Interpreter { return a.ip }
+
+// Camera exposes the app's camera.
+func (a *App) Camera() *capture.Camera { return a.cam }
+
+// SetCamera replaces the camera session (e.g. to request a different
+// preview resolution). Must be called before Init.
+func (a *App) SetCamera(c *capture.Camera) {
+	if a.streaming {
+		panic("app: SetCamera after the preview stream started")
+	}
+	a.cam = c
+}
+
+// stageDuration converts stage work into a CPU burst length, applying
+// the managed-code penalty unless the pipeline is native.
+func (a *App) stageDuration(w work.Work, native bool) time.Duration {
+	eff := ManagedEfficiency
+	if native {
+		eff = NativeEfficiency
+	} else {
+		w.Vectorizable = false // per-pixel managed loops don't vectorize
+	}
+	d := a.rt.Platform.Big.TimeFor(w, a.ip.DType)
+	return time.Duration(float64(d) / eff)
+}
+
+// Init loads the model and starts the background preview stream (vision
+// apps only; a language app has no camera).
+func (a *App) Init(done func()) {
+	a.ip.Init(func() {
+		if a.cfg.Streaming && !a.ip.Model.Pre.Tokenize {
+			a.startStream()
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// startStream models the camera callback that converts every delivered
+// preview frame whether or not the pipeline consumes it — background CPU
+// load that benchmarks do not have.
+func (a *App) startStream() {
+	if a.streaming {
+		return
+	}
+	a.streaming = true
+	conv := a.stageDuration(a.cam.ConversionWork(), false)
+	var tick func()
+	tick = func() {
+		if !a.streaming {
+			return
+		}
+		a.camThread.Exec(conv, nil)
+		a.rt.Eng.After(a.FrameInterval, tick)
+	}
+	a.rt.Eng.After(a.FrameInterval, tick)
+}
+
+// StopStream halts the background preview stream so a bounded experiment
+// can drain its event queue.
+func (a *App) StopStream() { a.streaming = false }
+
+// ProcessFrame runs one capture→pre→infer→post→render cycle and reports
+// the stage breakdown.
+func (a *App) ProcessFrame(done func(FrameStats)) {
+	var st FrameStats
+	start := a.rt.Eng.Now()
+	a.frames++
+	frameNo := a.frames
+
+	if a.ip.Model.Pre.Tokenize {
+		a.processText(&st, start, frameNo, done)
+		return
+	}
+
+	// 1. Data capture: sensor delivery plus bitmap formatting on the
+	// camera thread. Pose-style apps additionally fuse the IMU's
+	// orientation stream (§II-A) to decide the rotation step.
+	a.cam.Capture(func(f *capture.Frame) {
+		spec := a.ip.Model.PreSpec(a.ip.DType)
+		afterFusion := func() {
+			conv := a.stageDuration(a.cam.ConversionWork(), false)
+			a.camThread.Exec(conv, func() {
+				st.Capture = a.rt.Eng.Now().Sub(start)
+
+				// 2. Pre-processing: on its own thread, or offloaded
+				// to the DSP through FastRPC (FastCV-style).
+				preW := spec.Work(a.cam.Width, a.cam.Height)
+				preStart := a.rt.Eng.Now()
+				a.runPre(preW, spec.Native, func() {
+					st.Pre = a.rt.Eng.Now().Sub(preStart)
+
+					// 3. Inference through the delegate.
+					invStart := a.rt.Eng.Now()
+					a.ip.Invoke(func(tflite.Report) {
+						st.Inference = a.rt.Eng.Now().Sub(invStart)
+
+						// 4. Post-processing.
+						postStart := a.rt.Eng.Now()
+						postW := a.ip.Model.PostWork(a.ip.DType)
+						a.postThread.Exec(a.stageDuration(postW, true), func() {
+							if a.cfg.RealPostprocess {
+								a.runRealPostprocess()
+							}
+							st.Post = a.rt.Eng.Now().Sub(postStart)
+
+							// 5. UI render (+ occasional GC pause).
+							uiStart := a.rt.Eng.Now()
+							ui := a.rt.RNG.Jitter(a.UIBase, a.UIJitterCV)
+							if a.GCPeriod > 0 && frameNo%a.GCPeriod == 0 {
+								ui += a.GCPause
+							}
+							a.uiThread.Exec(ui, func() {
+								st.UI = a.rt.Eng.Now().Sub(uiStart)
+								st.Total = a.rt.Eng.Now().Sub(start)
+								if done != nil {
+									done(st)
+								}
+							})
+						})
+					})
+				})
+			})
+		}
+		if spec.RotateTurns != 0 {
+			// Sensor fusion: the frame's rotation follows the IMU's
+			// current orientation, read per frame.
+			a.imu.ReadOrientation(func(turns int) {
+				spec.RotateTurns = turns
+				afterFusion()
+			})
+		} else {
+			afterFusion()
+		}
+	})
+}
+
+// processText is the language-app variant of a frame: fetching the
+// input text (IME/clipboard, negligible) replaces camera capture, and
+// tokenization is the pre-processing stage.
+func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, done func(FrameStats)) {
+	// "Capture": obtaining the text input.
+	a.preThread.Exec(a.rt.RNG.Jitter(200*time.Microsecond, 0.2), func() {
+		st.Capture = a.rt.Eng.Now().Sub(start)
+
+		spec := a.ip.Model.PreSpec(a.ip.DType)
+		preStart := a.rt.Eng.Now()
+		a.preThread.Exec(a.stageDuration(spec.Work(0, 0), false), func() {
+			st.Pre = a.rt.Eng.Now().Sub(preStart)
+
+			invStart := a.rt.Eng.Now()
+			a.ip.Invoke(func(tflite.Report) {
+				st.Inference = a.rt.Eng.Now().Sub(invStart)
+
+				postStart := a.rt.Eng.Now()
+				a.postThread.Exec(a.stageDuration(a.ip.Model.PostWork(a.ip.DType), true), func() {
+					if a.cfg.RealPostprocess {
+						a.runRealPostprocess()
+					}
+					st.Post = a.rt.Eng.Now().Sub(postStart)
+
+					uiStart := a.rt.Eng.Now()
+					ui := a.rt.RNG.Jitter(a.UIBase, a.UIJitterCV)
+					if a.GCPeriod > 0 && frameNo%a.GCPeriod == 0 {
+						ui += a.GCPause
+					}
+					a.uiThread.Exec(ui, func() {
+						st.UI = a.rt.Eng.Now().Sub(uiStart)
+						st.Total = a.rt.Eng.Now().Sub(start)
+						if done != nil {
+							done(*st)
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// runPre executes the pre-processing stage on the configured engine:
+// the app's CPU thread by default, or the DSP behind FastRPC when
+// PreOnDSP is set. DSP vector units chew through pixel math at a rate
+// managed code cannot approach, but the stage then queues behind any
+// inference tenant of the same DSP.
+func (a *App) runPre(w work.Work, native bool, done func()) {
+	if a.preRPC == nil {
+		a.preThread.Exec(a.stageDuration(w, native), done)
+		return
+	}
+	w.Vectorizable = true // HVX path
+	exec := a.rt.Platform.DSP.TimeFor(w, a.ip.DType)
+	payload := int64(a.cam.FrameBytes())
+	a.preRPC.Invoke(payload, exec, func(fastrpc.Breakdown) { done() })
+}
+
+// runRealPostprocess executes the genuine algorithms on fabricated
+// outputs so example binaries produce inspectable results.
+func (a *App) runRealPostprocess() {
+	m := a.ip.Model
+	outs := a.ip.FabricateOutputs()
+	switch m.Task {
+	case models.Classification, models.FaceRecognition, models.LanguageProcessing:
+		out := outs[0]
+		if a.ip.DType != tensor.Float32 {
+			out = postproc.Dequantize(out)
+		}
+		postproc.TopK(out, 5)
+	case models.Segmentation:
+		postproc.FlattenMask(outs[0])
+	case models.ObjectDetection:
+		n := m.OutputShapes[0][1]
+		locs, scores := outs[0], outs[1]
+		if a.ip.DType != tensor.Float32 {
+			locs, scores = postproc.Dequantize(locs), postproc.Dequantize(scores)
+		}
+		grid := 1
+		for grid*grid*3 < n {
+			grid++
+		}
+		anchors := postproc.DefaultAnchors(grid)[:n]
+		postproc.NMS(postproc.DecodeBoxes(locs, scores, anchors, 0.5), 0.5, 10)
+	case models.PoseEstimation:
+		postproc.DecodeKeypoints(outs[0], outs[1], m.PoseOutputStride)
+	}
+}
+
+// Run processes n frames sequentially and reports every breakdown.
+func (a *App) Run(n int, done func([]FrameStats)) {
+	stats := make([]FrameStats, 0, n)
+	var loop func(i int)
+	loop = func(i int) {
+		if i >= n {
+			if done != nil {
+				done(stats)
+			}
+			return
+		}
+		a.ProcessFrame(func(st FrameStats) {
+			stats = append(stats, st)
+			loop(i + 1)
+		})
+	}
+	loop(0)
+}

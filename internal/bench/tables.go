@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"aitax/internal/models"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "N"
+}
+
+// TableI regenerates the paper's Table I: the benchmark list with each
+// model's task, resolution, pre-/post-processing tasks and the
+// framework/precision support matrix.
+func TableI(cfg Config) *Result {
+	r := &Result{
+		ID:    "table1",
+		Title: "Comprehensive list of benchmarks (paper Table I)",
+		Headers: []string{"Task", "Model", "Resolution", "Pre-processing",
+			"Post-processing", "NNAPI-fp32", "NNAPI-int8", "CPU-fp32", "CPU-int8"},
+	}
+	for _, m := range models.All() {
+		post := m.PostTasks
+		if m.Quantizable() {
+			post += ", dequantization*"
+		}
+		r.AddRow(string(m.Task), m.Name, m.Resolution(), m.Pre.Tasks(), post,
+			yn(m.Support.NNAPIFP32), yn(m.Support.NNAPIInt8),
+			yn(m.Support.CPUFP32), yn(m.Support.CPUInt8))
+	}
+	r.Notes = append(r.Notes,
+		"tasks marked with * are only performed with quantized models",
+		fmt.Sprintf("%d models reconstructed as op graphs (see internal/models)", len(models.All())))
+	return r
+}
+
+// TableII regenerates the paper's Table II: the hardware platforms.
+func TableII(cfg Config) *Result {
+	r := &Result{
+		ID:      "table2",
+		Title:   "Platforms used to conduct the study (paper Table II)",
+		Headers: []string{"System", "SoC", "Accelerators", "CPU", "DSP int8 (GOPS)", "Idle temp (C)"},
+	}
+	for _, p := range soc.Platforms() {
+		accel := p.GPUName + " GPU, " + p.DSPName + " DSP"
+		cpu := fmt.Sprintf("%d big + %d little", p.BigCores, p.LittleCores)
+		r.AddRow(p.Name, p.Chipset, accel, cpu,
+			fmt.Sprintf("%.0f", p.DSP.Int8OpsPerSec/1e9), fmt.Sprintf("%.0f", p.IdleTempC))
+	}
+	r.Notes = append(r.Notes,
+		"simulated platform models; the paper reports results on the Google Pixel 3 (SD845)")
+	return r
+}
+
+// modelCard is an extra (beyond the paper) inventory of the rebuilt
+// graphs, used by the experiments binary's verbose mode.
+func modelCard() *Result {
+	r := &Result{
+		ID:      "models",
+		Title:   "Model zoo inventory (reconstruction scale)",
+		Headers: []string{"Model", "Ops", "MMACs", "MParams", "fp32 size (MB)"},
+	}
+	for _, m := range models.All() {
+		g := m.Graph
+		r.AddRow(m.Name, g.NumOps(),
+			fmt.Sprintf("%.1f", float64(g.TotalMACs())/1e6),
+			fmt.Sprintf("%.2f", float64(g.TotalParams())/1e6),
+			fmt.Sprintf("%.1f", float64(g.WeightBytes(tensor.Float32))/1e6))
+	}
+	return r
+}

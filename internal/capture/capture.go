@@ -1,0 +1,109 @@
+// Package capture models the Android camera data-acquisition path the
+// paper identifies as a major share of application latency (§II-A): a
+// sensor with exposure/readout/ISP latency delivering YUV_NV21 preview
+// frames, plus the CPU-side buffer handling the app performs to obtain a
+// usable frame. Sensor-side latency is constant-ish with jitter; the
+// CPU-side conversion runs on the scheduler, so background CPU load
+// stretches it — exactly the Fig. 10 behaviour.
+package capture
+
+import (
+	"time"
+
+	"aitax/internal/imaging"
+	"aitax/internal/sim"
+	"aitax/internal/work"
+)
+
+// Frame is one delivered camera frame.
+type Frame struct {
+	Image       *imaging.YUVImage
+	Seq         int
+	DeliveredAt sim.Time
+	// SensorLatency is the non-CPU share of acquisition (exposure,
+	// readout, ISP, HAL delivery).
+	SensorLatency time.Duration
+}
+
+// Camera is a preview-stream camera session.
+type Camera struct {
+	eng *sim.Engine
+	rng *sim.RNG
+
+	// Width and Height are the preview resolution (the demo apps request
+	// a small preview, not full sensor resolution).
+	Width, Height int
+	// Exposure+Readout is the sensor-side base latency per frame.
+	Exposure time.Duration
+	Readout  time.Duration
+	// JitterCV is the coefficient of variation on sensor latency —
+	// "delays in the interrupt handling from sensor input streams"
+	// (§IV-C) feeding the Fig. 11 variability.
+	JitterCV float64
+
+	// Synthesize controls whether each frame gets fresh procedural
+	// content (true) or cycles a small pregenerated pool (false, the
+	// fast default for long experiments).
+	Synthesize bool
+
+	pool []*imaging.YUVImage
+	seq  int
+}
+
+// DefaultPreviewW and DefaultPreviewH are the demo apps' preview size.
+const (
+	DefaultPreviewW = 480
+	DefaultPreviewH = 360
+)
+
+// NewCamera opens a camera session at the given preview resolution.
+func NewCamera(eng *sim.Engine, rng *sim.RNG, width, height int) *Camera {
+	c := &Camera{
+		eng: eng, rng: rng,
+		Width: width &^ 1, Height: height &^ 1,
+		Exposure: 4 * time.Millisecond,
+		Readout:  3 * time.Millisecond,
+		JitterCV: 0.18,
+	}
+	// Pregenerate a pool of distinct frames so long runs do not spend
+	// host time on procedural content.
+	for i := 0; i < 4; i++ {
+		c.pool = append(c.pool, imaging.SyntheticFrame(c.Width, c.Height, uint64(1000+i)))
+	}
+	return c
+}
+
+// FrameBytes returns the NV21 frame size.
+func (c *Camera) FrameBytes() int { return c.Width * c.Height * 3 / 2 }
+
+// ConversionWork is the CPU-side cost of turning the delivered NV21
+// buffer into an ARGB bitmap ("bitmap formatting", §II-B) — per-pixel
+// integer math that Android apps perform in managed code.
+func (c *Camera) ConversionWork() work.Work {
+	px := int64(c.Width) * int64(c.Height)
+	return work.Work{Ops: px * 12, Bytes: px * (3/2 + 4), Vectorizable: false}
+}
+
+// Capture delivers the next frame after the sensor-side latency. The
+// CPU-side conversion is the caller's job (it belongs to the app's
+// threads); ConvertFrame performs it for real.
+func (c *Camera) Capture(done func(*Frame)) {
+	base := c.Exposure + c.Readout
+	lat := c.rng.Jitter(base, c.JitterCV)
+	seq := c.seq
+	c.seq++
+	c.eng.After(lat, func() {
+		var img *imaging.YUVImage
+		if c.Synthesize {
+			img = imaging.SyntheticFrame(c.Width, c.Height, uint64(5000+seq))
+		} else {
+			img = c.pool[seq%len(c.pool)]
+		}
+		done(&Frame{Image: img, Seq: seq, DeliveredAt: c.eng.Now(), SensorLatency: lat})
+	})
+}
+
+// ConvertFrame performs the real NV21→ARGB conversion of a frame.
+func ConvertFrame(f *Frame) *imaging.ARGBImage {
+	return imaging.YUVToARGB(f.Image)
+}

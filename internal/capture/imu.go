@@ -1,0 +1,55 @@
+package capture
+
+import (
+	"time"
+
+	"aitax/internal/sim"
+)
+
+// IMU models the inertial sensor whose orientation stream pose apps fuse
+// with camera frames (§II-A: "Some systems collect data from more than a
+// single sensor, in which case additional data processing such as fusing
+// multiple sources of data into a single metric may be required").
+// Orientation changes occasionally; reads return the latest sample after
+// a short sensor-hub round trip.
+type IMU struct {
+	eng *sim.Engine
+	rng *sim.RNG
+
+	// ReadLatency is the sensor-hub round trip per query.
+	ReadLatency time.Duration
+	// JitterCV spreads the read latency.
+	JitterCV float64
+
+	orientation int // quarter turns, 0..3
+	reads       int
+}
+
+// NewIMU opens an inertial sensor session.
+func NewIMU(eng *sim.Engine, rng *sim.RNG) *IMU {
+	return &IMU{
+		eng: eng, rng: rng,
+		ReadLatency: 350 * time.Microsecond,
+		JitterCV:    0.25,
+	}
+}
+
+// Reads returns how many orientation queries were served.
+func (i *IMU) Reads() int { return i.reads }
+
+// ReadOrientation asynchronously returns the device orientation in
+// clockwise quarter turns. The device occasionally rotates (seeded), so
+// consumers cannot cache the answer — each frame pays the fusion read.
+func (i *IMU) ReadOrientation(done func(quarterTurns int)) {
+	lat := i.rng.Jitter(i.ReadLatency, i.JitterCV)
+	i.eng.After(lat, func() {
+		i.reads++
+		// ~2% of reads observe a rotation event.
+		if i.rng.Intn(50) == 0 {
+			i.orientation = (i.orientation + 1) % 4
+		}
+		if done != nil {
+			done(i.orientation)
+		}
+	})
+}

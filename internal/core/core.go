@@ -1,0 +1,166 @@
+// Package core implements the paper's central abstraction: the AI tax —
+// the time a system spends on tasks that enable ML model execution but
+// are not the model execution itself. It provides the Fig. 1 taxonomy
+// (algorithms / frameworks / hardware), per-stage breakdown accounting,
+// and report rendering used by the experiment harness and the CLI tools.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aitax/internal/app"
+	"aitax/internal/driver"
+	"aitax/internal/stats"
+)
+
+// Category is a top-level AI-tax source from Fig. 1.
+type Category string
+
+// Fig. 1 categories.
+const (
+	CategoryAlgorithms Category = "Algorithms"
+	CategoryFrameworks Category = "Frameworks"
+	CategoryHardware   Category = "Hardware"
+)
+
+// Component is a leaf of the Fig. 1 taxonomy.
+type Component struct {
+	Category Category
+	Name     string
+	// Detail describes where the overhead comes from.
+	Detail string
+}
+
+// Taxonomy returns the Fig. 1 overhead tree.
+func Taxonomy() []Component {
+	return []Component{
+		{CategoryAlgorithms, "Data Capture", "sensor acquisition, buffer handling, bitmap formatting"},
+		{CategoryAlgorithms, "Pre-processing", "scale, crop, normalize, rotate, type conversion, tokenization"},
+		{CategoryAlgorithms, "Post-processing", "topK, dequantization, NMS, keypoints, mask flattening"},
+		{CategoryFrameworks, "Drivers", "vendor driver op coverage and kernel quality"},
+		{CategoryFrameworks, "Offload", "partition handoffs, FastRPC crossings, cache maintenance"},
+		{CategoryFrameworks, "Scheduling", "device assignment, CPU fallback, partition planning"},
+		{CategoryHardware, "Multitenancy", "contention for the single DSP / CPU cores"},
+		{CategoryHardware, "Run-to-run Variability", "OS scheduling, interrupts, GC, sensor jitter"},
+		{CategoryHardware, "Cold Start", "one-time accelerator session setup and model compilation"},
+	}
+}
+
+// RenderTaxonomy draws the Fig. 1 tree as text.
+func RenderTaxonomy() string {
+	var b strings.Builder
+	b.WriteString("AI Tax taxonomy (Fig. 1)\n")
+	var last Category
+	for _, c := range Taxonomy() {
+		if c.Category != last {
+			fmt.Fprintf(&b, "%s\n", c.Category)
+			last = c.Category
+		}
+		fmt.Fprintf(&b, "  %-24s %s\n", c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Breakdown is an aggregated per-stage latency account over a run.
+type Breakdown struct {
+	N int
+
+	DataCapture    time.Duration
+	PreProcessing  time.Duration
+	ModelExecution time.Duration
+	PostProcessing time.Duration
+	UI             time.Duration
+
+	// Distribution of end-to-end latency across the run (Fig. 11).
+	E2E stats.Summary
+}
+
+// FromFrames aggregates instrumented app frames into mean stage times.
+func FromFrames(frames []app.FrameStats) Breakdown {
+	b := Breakdown{N: len(frames)}
+	if len(frames) == 0 {
+		return b
+	}
+	e2e := stats.NewSample()
+	for _, f := range frames {
+		b.DataCapture += f.Capture
+		b.PreProcessing += f.Pre
+		b.ModelExecution += f.Inference
+		b.PostProcessing += f.Post
+		b.UI += f.UI
+		e2e.Add(float64(f.Total) / float64(time.Millisecond))
+	}
+	n := time.Duration(len(frames))
+	b.DataCapture /= n
+	b.PreProcessing /= n
+	b.ModelExecution /= n
+	b.PostProcessing /= n
+	b.UI /= n
+	b.E2E = e2e.Summarize()
+	return b
+}
+
+// Total returns the mean end-to-end stage sum.
+func (b Breakdown) Total() time.Duration {
+	return b.DataCapture + b.PreProcessing + b.ModelExecution + b.PostProcessing + b.UI
+}
+
+// Tax returns the mean non-inference time.
+func (b Breakdown) Tax() time.Duration { return b.Total() - b.ModelExecution }
+
+// TaxFraction returns the AI-tax share of end-to-end time.
+func (b Breakdown) TaxFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Tax()) / float64(t)
+}
+
+// Render draws the breakdown as an aligned table.
+func (b Breakdown) Render() string {
+	var sb strings.Builder
+	total := b.Total()
+	row := func(name string, d time.Duration) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&sb, "  %-18s %10.2f ms  %5.1f%%\n", name, ms(d), pct)
+	}
+	fmt.Fprintf(&sb, "stage breakdown over %d frames:\n", b.N)
+	row("data capture", b.DataCapture)
+	row("pre-processing", b.PreProcessing)
+	row("model execution", b.ModelExecution)
+	row("post-processing", b.PostProcessing)
+	row("ui/render", b.UI)
+	fmt.Fprintf(&sb, "  %-18s %10.2f ms\n", "end-to-end", ms(total))
+	fmt.Fprintf(&sb, "  AI tax: %.2f ms (%.1f%% of end-to-end)\n", ms(b.Tax()), 100*b.TaxFraction())
+	return sb.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// InvocationTax splits a single framework invocation result into model
+// time and framework/offload tax.
+type InvocationTax struct {
+	Compute  time.Duration
+	Overhead time.Duration
+	Queue    time.Duration
+}
+
+// FromResult converts a driver result into an invocation tax record.
+func FromResult(r driver.Result) InvocationTax {
+	return InvocationTax{Compute: r.Compute, Overhead: r.Overhead, Queue: r.Queue}
+}
+
+// TaxFraction returns the non-compute share of the invocation.
+func (t InvocationTax) TaxFraction() float64 {
+	total := t.Compute + t.Overhead + t.Queue
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Overhead+t.Queue) / float64(total)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aitax/internal/app"
+	"aitax/internal/driver"
+)
+
+func TestTaxonomyCoversFigure1(t *testing.T) {
+	tax := Taxonomy()
+	if len(tax) != 9 {
+		t.Fatalf("taxonomy leaves = %d, want 9", len(tax))
+	}
+	byCat := map[Category]int{}
+	for _, c := range tax {
+		byCat[c.Category]++
+		if c.Name == "" || c.Detail == "" {
+			t.Fatal("incomplete taxonomy entry")
+		}
+	}
+	if byCat[CategoryAlgorithms] != 3 || byCat[CategoryFrameworks] != 3 || byCat[CategoryHardware] != 3 {
+		t.Fatalf("category split = %v", byCat)
+	}
+	out := RenderTaxonomy()
+	for _, want := range []string{"Algorithms", "Frameworks", "Hardware", "Data Capture", "Offload"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("taxonomy render missing %q", want)
+		}
+	}
+}
+
+func frames() []app.FrameStats {
+	mk := func(c, p, i, po, u int) app.FrameStats {
+		ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+		return app.FrameStats{
+			Capture: ms(c), Pre: ms(p), Inference: ms(i), Post: ms(po), UI: ms(u),
+			Total: ms(c + p + i + po + u),
+		}
+	}
+	return []app.FrameStats{
+		mk(10, 6, 8, 1, 4),
+		mk(12, 6, 8, 1, 4),
+		mk(14, 6, 8, 1, 4),
+	}
+}
+
+func TestFromFramesAggregates(t *testing.T) {
+	b := FromFrames(frames())
+	if b.N != 3 {
+		t.Fatalf("n = %d", b.N)
+	}
+	if b.DataCapture != 12*time.Millisecond {
+		t.Fatalf("capture mean = %v, want 12ms", b.DataCapture)
+	}
+	if b.ModelExecution != 8*time.Millisecond {
+		t.Fatalf("inference mean = %v", b.ModelExecution)
+	}
+	if b.Total() != 31*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.Tax() != 23*time.Millisecond {
+		t.Fatalf("tax = %v", b.Tax())
+	}
+	frac := b.TaxFraction()
+	if frac < 0.74 || frac > 0.75 {
+		t.Fatalf("tax fraction = %v, want ~0.742", frac)
+	}
+	if b.E2E.N != 3 || b.E2E.Mean < 30 || b.E2E.Mean > 32 {
+		t.Fatalf("e2e summary = %+v", b.E2E)
+	}
+}
+
+func TestEmptyFrames(t *testing.T) {
+	b := FromFrames(nil)
+	if b.Total() != 0 || b.TaxFraction() != 0 {
+		t.Fatal("empty breakdown must be zero")
+	}
+}
+
+func TestRenderBreakdown(t *testing.T) {
+	out := FromFrames(frames()).Render()
+	for _, want := range []string{"data capture", "model execution", "AI tax", "end-to-end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInvocationTax(t *testing.T) {
+	it := FromResult(driver.Result{Compute: 6 * time.Millisecond,
+		Overhead: 2 * time.Millisecond, Queue: 2 * time.Millisecond})
+	if f := it.TaxFraction(); f != 0.4 {
+		t.Fatalf("invocation tax fraction = %v, want 0.4", f)
+	}
+	if (InvocationTax{}).TaxFraction() != 0 {
+		t.Fatal("zero invocation must have zero tax")
+	}
+}

@@ -1,0 +1,332 @@
+// Package driver implements the hardware delegates that execute model
+// graph segments on simulated devices: the multi-threaded CPU path, the
+// GPU delegate, and the Hexagon (DSP) delegate behind FastRPC. A target
+// advertises per-op support — the information NNAPI's partitioner works
+// from — and executes contiguous op segments asynchronously on the
+// simulation engine.
+//
+// The support matrices encode the driver-quality findings of §IV-B: open
+// delegates and vendor NNAPI drivers support different op subsets at
+// different precisions, and what a driver does not support falls back to
+// the CPU.
+package driver
+
+import (
+	"time"
+
+	"aitax/internal/fastrpc"
+	"aitax/internal/nn"
+	"aitax/internal/sched"
+	"aitax/internal/sim"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+// Result describes how a segment execution spent its time.
+type Result struct {
+	// Compute is pure device execution time.
+	Compute time.Duration
+	// Overhead is dispatch/transport cost (interpreter loop, kernel
+	// launches, RPC crossings, session setup).
+	Overhead time.Duration
+	// Queue is time spent waiting behind other clients of the device.
+	Queue time.Duration
+	// EnergyJ is the estimated active energy spent, in joules — the
+	// quantity NNAPI's LOW_POWER preference optimizes.
+	EnergyJ float64
+}
+
+// Total returns the segment wall time.
+func (r Result) Total() time.Duration { return r.Compute + r.Overhead + r.Queue }
+
+// Add accumulates another result.
+func (r Result) Add(o Result) Result {
+	return Result{
+		Compute:  r.Compute + o.Compute,
+		Overhead: r.Overhead + o.Overhead,
+		Queue:    r.Queue + o.Queue,
+		EnergyJ:  r.EnergyJ + o.EnergyJ,
+	}
+}
+
+// Target is a delegate capable of running graph segments.
+type Target interface {
+	// Name identifies the target ("cpu", "gpu-delegate", "hexagon", ...).
+	Name() string
+	// Kind reports the underlying device class.
+	Kind() soc.Kind
+	// Supports reports whether the op can run here at precision dt.
+	Supports(op *nn.Op, dt tensor.DType) bool
+	// Execute runs a contiguous op segment and calls done when finished.
+	Execute(ops []*nn.Op, dt tensor.DType, done func(Result))
+}
+
+// segmentWork sums the device time of a segment at 1/efficiency.
+func segmentTime(ops []*nn.Op, dt tensor.DType, dev *soc.Device, efficiency float64) time.Duration {
+	var total time.Duration
+	for _, op := range ops {
+		total += dev.TimeFor(op.Work(dt), dt)
+	}
+	if efficiency > 0 && efficiency != 1 {
+		total = time.Duration(float64(total) / efficiency)
+	}
+	return total
+}
+
+// segmentIOBytes estimates the activation payload crossing a delegate
+// boundary: the first op's inputs plus the last op's outputs.
+func segmentIOBytes(ops []*nn.Op, dt tensor.DType) int64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	sz := int64(dt.Size())
+	return ops[0].InElems()*sz + ops[len(ops)-1].OutElems()*sz
+}
+
+// --- CPU target ---
+
+// CPUTarget executes segments on the scheduler with a fixed thread count,
+// the way TFLite's default CPU path does. Threads are pinned to the big
+// cluster (TFLite's default affinity on big.LITTLE parts).
+type CPUTarget struct {
+	name    string
+	sch     *sched.Scheduler
+	dev     *soc.Device
+	threads []*sched.Thread
+	// PerOpOverhead is the interpreter's per-op dispatch cost.
+	PerOpOverhead time.Duration
+	// Efficiency derates the device's effective rate (driver quality).
+	Efficiency float64
+}
+
+// NewCPUTarget creates a CPU delegate with nThreads worker threads.
+func NewCPUTarget(name string, sch *sched.Scheduler, dev *soc.Device, nThreads int) *CPUTarget {
+	if nThreads <= 0 {
+		panic("driver: need at least one CPU thread")
+	}
+	t := &CPUTarget{
+		name:          name,
+		sch:           sch,
+		dev:           dev,
+		PerOpOverhead: 3 * time.Microsecond,
+		Efficiency:    1,
+	}
+	for i := 0; i < nThreads; i++ {
+		t.threads = append(t.threads, sch.Spawn(name+"-worker", sched.BigOnly))
+	}
+	return t
+}
+
+// NewReferenceCPUTarget builds NNAPI's reference CPU implementation: a
+// single unpinned, migratory thread running unoptimized kernels. This is
+// the path NNAPI lands on when a driver rejects a quantized graph — the
+// Fig. 6 profile of one thread bouncing across cores.
+func NewReferenceCPUTarget(name string, sch *sched.Scheduler, dev *soc.Device) *CPUTarget {
+	return &CPUTarget{
+		name:          name,
+		sch:           sch,
+		dev:           dev,
+		threads:       []*sched.Thread{sch.SpawnMigratory(name+"-ref", nil)},
+		PerOpOverhead: 15 * time.Microsecond,
+		Efficiency:    0.25,
+	}
+}
+
+// Name implements Target.
+func (t *CPUTarget) Name() string { return t.name }
+
+// Kind implements Target.
+func (t *CPUTarget) Kind() soc.Kind { return soc.CPUBig }
+
+// Threads returns the worker thread count.
+func (t *CPUTarget) Threads() int { return len(t.threads) }
+
+// Supports implements Target: the CPU reference path runs everything.
+func (t *CPUTarget) Supports(op *nn.Op, dt tensor.DType) bool { return true }
+
+// parallelEfficiency models the diminishing returns of intra-op
+// threading (TFLite's observed ~3.2x at 4 threads).
+func parallelEfficiency(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 - 0.067*float64(n-1)
+}
+
+// Execute implements Target: ops run in graph order; each op's work is
+// split across the worker threads, so background CPU load stretches the
+// segment via scheduler contention (the Fig. 10 effect).
+func (t *CPUTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	n := len(t.threads)
+	eff := parallelEfficiency(n) * t.Efficiency
+	var res Result
+	var runOp func(i int)
+	runOp = func(i int) {
+		if i >= len(ops) {
+			if done != nil {
+				done(res)
+			}
+			return
+		}
+		opTime := t.dev.TimeFor(ops[i].Work(dt), dt)
+		perThread := time.Duration(float64(opTime)/(float64(n)*eff)) + t.PerOpOverhead
+		res.Compute += time.Duration(float64(opTime) / (float64(n) * eff))
+		res.Overhead += t.PerOpOverhead
+		res.EnergyJ += t.dev.ActivePowerW * float64(n) * perThread.Seconds()
+		remaining := n
+		for _, th := range t.threads {
+			th.Exec(perThread, func() {
+				remaining--
+				if remaining == 0 {
+					runOp(i + 1)
+				}
+			})
+		}
+	}
+	runOp(0)
+}
+
+// --- GPU target ---
+
+// GPUTarget executes segments on the GPU behind a serialized command
+// queue, with a per-segment dispatch and per-op kernel-launch overhead.
+type GPUTarget struct {
+	name  string
+	eng   *sim.Engine
+	dev   *soc.Device
+	queue *sim.Resource
+	// DispatchOverhead is paid once per segment (buffer map/unmap).
+	DispatchOverhead time.Duration
+	// KernelLaunch is paid per op.
+	KernelLaunch time.Duration
+	// Efficiency derates the device rate (shader-compiler quality).
+	Efficiency float64
+	supports   func(op *nn.Op, dt tensor.DType) bool
+}
+
+// NewGPUTarget creates a GPU delegate over a shared GPU queue resource.
+func NewGPUTarget(name string, eng *sim.Engine, dev *soc.Device, queue *sim.Resource, supports func(*nn.Op, tensor.DType) bool) *GPUTarget {
+	return &GPUTarget{
+		name: name, eng: eng, dev: dev, queue: queue,
+		DispatchOverhead: 180 * time.Microsecond,
+		KernelLaunch:     9 * time.Microsecond,
+		Efficiency:       1,
+		supports:         supports,
+	}
+}
+
+// AllowFP16 switches the delegate to half-precision arithmetic (the
+// TFLite GPU delegate's default "precision loss allowed" mode): ~1.7x
+// the fp32 rate on packed-math mobile GPUs, at reduced numeric
+// precision. The paper's setups run full precision; this is the knob a
+// deployment would actually flip.
+func (t *GPUTarget) AllowFP16() {
+	t.Efficiency *= 1.7
+	t.name += "-fp16"
+}
+
+// Name implements Target.
+func (t *GPUTarget) Name() string { return t.name }
+
+// Kind implements Target.
+func (t *GPUTarget) Kind() soc.Kind { return soc.GPU }
+
+// Supports implements Target.
+func (t *GPUTarget) Supports(op *nn.Op, dt tensor.DType) bool { return t.supports(op, dt) }
+
+// Execute implements Target.
+func (t *GPUTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	compute := segmentTime(ops, dt, t.dev, t.Efficiency)
+	launches := time.Duration(len(ops)) * t.KernelLaunch
+	hold := compute + launches
+	t.eng.After(t.DispatchOverhead, func() {
+		enqueued := t.eng.Now()
+		t.queue.Acquire(hold, func(start, end sim.Time) {
+			if done != nil {
+				done(Result{
+					Compute:  compute,
+					Overhead: t.DispatchOverhead + launches,
+					Queue:    start.Sub(enqueued),
+					EnergyJ:  t.dev.ActivePowerW * hold.Seconds(),
+				})
+			}
+		})
+	})
+}
+
+// --- DSP (Hexagon) target ---
+
+// DSPTarget executes segments on the Hexagon DSP through a FastRPC
+// channel: one RPC invocation per segment, with the segment's boundary
+// activations as the payload. The first invocation pays the session
+// setup (cold start); concurrent clients of the same DSP queue.
+type DSPTarget struct {
+	name    string
+	dev     *soc.Device
+	channel *fastrpc.Channel
+	// Efficiency derates the device rate: vendor-tuned stacks (SNPE)
+	// sit near 1.0, generic NNAPI drivers lower (§IV-B).
+	Efficiency float64
+	supports   func(op *nn.Op, dt tensor.DType) bool
+}
+
+// NewDSPTarget creates a DSP delegate over a FastRPC channel.
+func NewDSPTarget(name string, dev *soc.Device, ch *fastrpc.Channel, efficiency float64, supports func(*nn.Op, tensor.DType) bool) *DSPTarget {
+	if efficiency <= 0 {
+		panic("driver: DSP efficiency must be positive")
+	}
+	return &DSPTarget{name: name, dev: dev, channel: ch, Efficiency: efficiency, supports: supports}
+}
+
+// Name implements Target.
+func (t *DSPTarget) Name() string { return t.name }
+
+// Kind implements Target.
+func (t *DSPTarget) Kind() soc.Kind { return soc.DSP }
+
+// Supports implements Target.
+func (t *DSPTarget) Supports(op *nn.Op, dt tensor.DType) bool { return t.supports(op, dt) }
+
+// Channel exposes the underlying FastRPC channel (for cold-start state).
+func (t *DSPTarget) Channel() *fastrpc.Channel { return t.channel }
+
+// InitGraph models driver-side graph bring-up on the DSP: weight
+// download over the fabric plus per-op kernel configuration, all of
+// which holds the DSP. NNAPI performs this once during compilation (and
+// it is the brief CDSP spike the paper's Fig. 6 shows even for plans the
+// driver ultimately rejects).
+func (t *DSPTarget) InitGraph(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	var weights int64
+	for _, op := range ops {
+		weights += op.WeightBytes(dt)
+	}
+	hold := time.Duration(float64(weights)/t.dev.MemBytesPerSec*float64(time.Second)) +
+		time.Duration(len(ops))*120*time.Microsecond
+	t.channel.Invoke(weights, hold, func(b fastrpc.Breakdown) {
+		if done != nil {
+			done(Result{Compute: b.Exec, Overhead: b.Setup + b.Transport, Queue: b.Queue})
+		}
+	})
+}
+
+// GraphIniter is implemented by targets with a distinct driver-side
+// graph bring-up step.
+type GraphIniter interface {
+	InitGraph(ops []*nn.Op, dt tensor.DType, done func(Result))
+}
+
+// Execute implements Target.
+func (t *DSPTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	compute := segmentTime(ops, dt, t.dev, t.Efficiency)
+	payload := segmentIOBytes(ops, dt)
+	t.channel.Invoke(payload, compute, func(b fastrpc.Breakdown) {
+		if done != nil {
+			done(Result{
+				Compute:  b.Exec,
+				Overhead: b.Setup + b.Transport,
+				Queue:    b.Queue,
+				EnergyJ:  t.dev.ActivePowerW * b.Exec.Seconds(),
+			})
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package fastrpc models Qualcomm's FastRPC CPU↔DSP transport as the
+// paper's Fig. 7 draws it: a one-time session setup that maps the DSP
+// into the application process, then per-call user→kernel→driver
+// crossings, cache maintenance for shared buffers, and the co-processor
+// dispatch. The DSP itself is a capacity-1 resource, so concurrent
+// clients queue (the multi-tenancy effect of Fig. 9).
+package fastrpc
+
+import (
+	"time"
+
+	"aitax/internal/sim"
+	"aitax/internal/soc"
+)
+
+// Breakdown itemizes where one offloaded call spent its time.
+type Breakdown struct {
+	// Setup is the session-establishment share (zero on warm calls).
+	Setup time.Duration
+	// Transport covers kernel crossings, cache flush and DSP wakeup.
+	Transport time.Duration
+	// Queue is time spent waiting for the DSP behind other clients.
+	Queue time.Duration
+	// Exec is the on-DSP execution time.
+	Exec time.Duration
+}
+
+// Total returns the end-to-end call latency.
+func (b Breakdown) Total() time.Duration { return b.Setup + b.Transport + b.Queue + b.Exec }
+
+// Stage is one labelled step of the Fig. 7 call flow.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Channel is a FastRPC connection from one process to the DSP.
+type Channel struct {
+	eng    *sim.Engine
+	params soc.RPCParams
+	dsp    *sim.Resource
+
+	state   int // 0 = cold, 1 = setting up, 2 = ready
+	waiters []func()
+
+	// Accounting.
+	calls          int
+	setupPaid      bool
+	transportTotal time.Duration
+}
+
+const (
+	stateCold = iota
+	stateSettingUp
+	stateReady
+)
+
+// NewChannel creates a cold channel. dsp is the shared DSP resource; all
+// channels offloading to the same DSP must share it.
+func NewChannel(eng *sim.Engine, params soc.RPCParams, dsp *sim.Resource) *Channel {
+	return &Channel{eng: eng, params: params, dsp: dsp}
+}
+
+// Ready reports whether the session is established (warm).
+func (c *Channel) Ready() bool { return c.state == stateReady }
+
+// Calls returns the number of completed invocations.
+func (c *Channel) Calls() int { return c.calls }
+
+// Invoke offloads a unit of DSP work: execTime on the DSP moving
+// payloadBytes through shared buffers. onDone receives the per-call
+// breakdown. The first call on a cold channel pays the session setup —
+// the cold-start penalty of §IV-C.
+func (c *Channel) Invoke(payloadBytes int64, execTime time.Duration, onDone func(Breakdown)) {
+	if execTime < 0 || payloadBytes < 0 {
+		panic("fastrpc: negative invoke arguments")
+	}
+	issued := c.eng.Now()
+	start := func() {
+		setupShare := c.eng.Now().Sub(issued)
+		c.invokeWarm(payloadBytes, execTime, setupShare, onDone)
+	}
+	switch c.state {
+	case stateReady:
+		start()
+	case stateSettingUp:
+		c.waiters = append(c.waiters, start)
+	case stateCold:
+		c.state = stateSettingUp
+		c.waiters = append(c.waiters, start)
+		c.eng.After(c.params.SessionSetup, func() {
+			c.state = stateReady
+			c.setupPaid = true
+			ws := c.waiters
+			c.waiters = nil
+			for _, w := range ws {
+				w()
+			}
+		})
+	}
+}
+
+func (c *Channel) invokeWarm(payloadBytes int64, execTime time.Duration, setupShare time.Duration, onDone func(Breakdown)) {
+	// Outbound: user→kernel crossing ×2 (submit + driver signal), cache
+	// flush for the payload, DSP wakeup.
+	kb := (payloadBytes + 1023) / 1024
+	outbound := 2*c.params.KernelCrossing +
+		time.Duration(kb)*c.params.CacheFlushPerKB +
+		c.params.DSPWakeup
+	inbound := 2 * c.params.KernelCrossing // completion signal + return
+
+	c.eng.After(outbound, func() {
+		enqueued := c.eng.Now()
+		c.dsp.Acquire(execTime, func(start, end sim.Time) {
+			queue := start.Sub(enqueued)
+			c.eng.After(inbound, func() {
+				c.calls++
+				c.transportTotal += outbound + inbound
+				if onDone != nil {
+					onDone(Breakdown{
+						Setup:     setupShare,
+						Transport: outbound + inbound,
+						Queue:     queue,
+						Exec:      execTime,
+					})
+				}
+			})
+		})
+	})
+}
+
+// CallStages itemizes the Fig. 7 flow for a payload of the given size on
+// a warm channel, in order.
+func (c *Channel) CallStages(payloadBytes int64) []Stage {
+	kb := (payloadBytes + 1023) / 1024
+	return []Stage{
+		{"user->kernel (submit ioctl)", c.params.KernelCrossing},
+		{"kernel driver -> DSP signal", c.params.KernelCrossing},
+		{"cache flush (shared buffer)", time.Duration(kb) * c.params.CacheFlushPerKB},
+		{"DSP wakeup/dispatch", c.params.DSPWakeup},
+		{"DSP -> kernel completion", c.params.KernelCrossing},
+		{"kernel -> user return", c.params.KernelCrossing},
+	}
+}
+
+// SetupCost returns the one-time session-establishment cost.
+func (c *Channel) SetupCost() time.Duration { return c.params.SessionSetup }

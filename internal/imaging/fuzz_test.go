@@ -1,0 +1,26 @@
+package imaging
+
+import "testing"
+
+// FuzzYUVConversion drives the NV21 decode with arbitrary plane bytes:
+// it must never panic and must fill every output pixel with an opaque
+// color.
+func FuzzYUVConversion(f *testing.F) {
+	f.Add([]byte{128, 128, 128, 128}, []byte{128, 128})
+	f.Add([]byte{0, 255, 16, 235}, []byte{255, 0})
+	f.Fuzz(func(t *testing.T, y, vu []byte) {
+		const w, h = 4, 4
+		img := NewYUV(w, h)
+		copy(img.Y, y)
+		copy(img.VU, vu)
+		out := YUVToARGB(img)
+		if out.Width != w || out.Height != h {
+			t.Fatal("dims wrong")
+		}
+		for _, p := range out.Pix {
+			if p>>24 != 0xFF {
+				t.Fatalf("non-opaque pixel %#x", p)
+			}
+		}
+	})
+}

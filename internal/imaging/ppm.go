@@ -1,0 +1,64 @@
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePPM serializes an ARGB image as a binary PPM (P6) — the simplest
+// portable way to eyeball pipeline outputs without image dependencies.
+func WritePPM(img *ARGBImage, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.Width, img.Height); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, img.Width*3)
+	for y := 0; y < img.Height; y++ {
+		buf = buf[:0]
+		for x := 0; x < img.Width; x++ {
+			r, g, b := RGB(img.At(x, y))
+			buf = append(buf, r, g, b)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MaskPalette is a deterministic 21-entry color palette for segmentation
+// masks (PASCAL-VOC-sized class sets).
+func MaskPalette() []uint32 {
+	out := make([]uint32, 21)
+	for i := range out {
+		// Bit-shuffled class index → well-separated colors.
+		r := uint8((i * 97) % 256)
+		g := uint8((i * 57 * 3) % 256)
+		b := uint8((i * 181) % 256)
+		if i == 0 {
+			r, g, b = 0, 0, 0 // background stays black
+		}
+		out[i] = PackRGB(r, g, b)
+	}
+	return out
+}
+
+// MaskToImage renders a per-pixel class mask (h*w labels) as a colored
+// image using the palette (labels beyond the palette wrap).
+func MaskToImage(mask []int, w, h int, palette []uint32) *ARGBImage {
+	if len(mask) != w*h {
+		panic(fmt.Sprintf("imaging: mask size %d != %dx%d", len(mask), w, h))
+	}
+	if len(palette) == 0 {
+		palette = MaskPalette()
+	}
+	img := NewARGB(w, h)
+	for i, c := range mask {
+		if c < 0 {
+			c = 0
+		}
+		img.Pix[i] = palette[c%len(palette)]
+	}
+	return img
+}

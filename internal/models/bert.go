@@ -1,0 +1,42 @@
+package models
+
+import (
+	"aitax/internal/nn"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+)
+
+// MobileBERT reconstructs Mobile BERT for sentence classification
+// (Table I row 11): a 12-layer encoder over 128 tokens sized so that
+// total compute (~5.7 GFLOPs) and parameter count land in the published
+// range. Pre-processing is tokenization; post-processing computes logits
+// and takes topK.
+func MobileBERT() *Model {
+	const (
+		seq    = 128
+		hidden = 384
+		heads  = 4
+		inner  = 1536
+		layers = 12
+		vocab  = 30522
+	)
+	b := nn.NewSeqBuilder("Mobile BERT", seq, hidden)
+	b.Embedding(vocab)
+	for i := 0; i < layers; i++ {
+		b.TransformerLayer(heads, inner)
+	}
+	b.SeqClassifier(2)
+	return &Model{
+		Name: "Mobile BERT", Task: LanguageProcessing,
+		NumClasses: 2,
+		Graph:      b.Graph(),
+		Pre: preproc.Spec{
+			Tokenize:   true,
+			MaxTokens:  seq,
+			SampleText: "the camera quality on this phone is great and the battery works well",
+		},
+		PostTasks:    "topK, compute logits",
+		Support:      Support{NNAPIFP32: true, CPUFP32: true},
+		OutputShapes: []tensor.Shape{{1, 2}},
+	}
+}

@@ -1,0 +1,177 @@
+package models
+
+import (
+	"aitax/internal/nn"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+)
+
+func classifierPre(resolution int) preproc.Spec {
+	return preproc.Spec{
+		CropFraction: 0.875,
+		TargetW:      resolution, TargetH: resolution,
+		Mean: 127.5, Std: 127.5,
+	}
+}
+
+// MobileNetV1 reconstructs MobileNet 1.0 v1 224 (Table I row 1):
+// ~4.2M parameters, ~569M MACs.
+func MobileNetV1() *Model {
+	b := nn.NewBuilder("MobileNet 1.0 v1", 224, 224, 3)
+	b.Conv(32, 3, 2).ReLU6()
+	type blk struct{ c, s int }
+	for _, bl := range []blk{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	} {
+		b.Separable(bl.c, bl.s)
+	}
+	b.GlobalAvgPool().FC(1001).Softmax()
+	return &Model{
+		Name: "MobileNet 1.0 v1", Task: Classification,
+		InputW: 224, InputH: 224, NumClasses: 1001,
+		Graph:        b.Graph(),
+		Pre:          classifierPre(224),
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, NNAPIInt8: true, CPUFP32: true, CPUInt8: true},
+		OutputShapes: []tensor.Shape{{1, 1001}},
+	}
+}
+
+// EfficientNetLite0 reconstructs EfficientNet-Lite0 224 (Table I row 4):
+// ~4.7M parameters, ~390M MACs. Lite variants drop squeeze-excite and use
+// ReLU6, which is what the builder emits.
+func EfficientNetLite0() *Model {
+	b := nn.NewBuilder("EfficientNet-Lite0", 224, 224, 3)
+	b.Conv(32, 3, 2).ReLU6()
+	type stage struct{ c, n, s, e int }
+	for _, st := range []stage{
+		{16, 1, 1, 1},
+		{24, 2, 2, 6},
+		{40, 2, 2, 6},
+		{80, 3, 2, 6},
+		{112, 3, 1, 6},
+		{192, 4, 2, 6},
+		{320, 1, 1, 6},
+	} {
+		for i := 0; i < st.n; i++ {
+			s := 1
+			if i == 0 {
+				s = st.s
+			}
+			b.InvertedResidual(st.c, s, st.e)
+		}
+	}
+	b.Conv(1280, 1, 1).ReLU6().GlobalAvgPool().FC(1001).Softmax()
+	return &Model{
+		Name: "EfficientNet-Lite0", Task: Classification,
+		InputW: 224, InputH: 224, NumClasses: 1001,
+		Graph:        b.Graph(),
+		Pre:          classifierPre(224),
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, NNAPIInt8: true, CPUFP32: true, CPUInt8: true},
+		OutputShapes: []tensor.Shape{{1, 1001}},
+	}
+}
+
+// fire lays down a SqueezeNet fire module: 1×1 squeeze to s channels, then
+// parallel 1×1 and 3×3 expands to e channels each, concatenated.
+func fire(b *nn.Builder, s, e int) {
+	b.Conv(s, 1, 1).ReLU()
+	b.Conv(e, 1, 1).ReLU() // expand 1x1 branch
+	b.SetChannels(s)       // rewind to squeeze output for the 3x3 branch
+	b.Conv(e, 3, 1).ReLU() // expand 3x3 branch
+	b.Concat(2 * e)
+}
+
+// SqueezeNet reconstructs SqueezeNet 1.0 at 227×227 (Table I row 3):
+// ~1.2M parameters.
+func SqueezeNet() *Model {
+	b := nn.NewBuilder("SqueezeNet", 227, 227, 3)
+	b.Conv(96, 7, 2).ReLU().MaxPool(3, 2)
+	fire(b, 16, 64)
+	fire(b, 16, 64)
+	fire(b, 32, 128)
+	b.MaxPool(3, 2)
+	fire(b, 32, 128)
+	fire(b, 48, 192)
+	fire(b, 48, 192)
+	fire(b, 64, 256)
+	b.MaxPool(3, 2)
+	fire(b, 64, 256)
+	b.Conv(1000, 1, 1).ReLU().GlobalAvgPool().Softmax()
+	return &Model{
+		Name: "SqueezeNet", Task: Classification,
+		InputW: 227, InputH: 227, NumClasses: 1000,
+		Graph:        b.Graph(),
+		Pre:          classifierPre(227),
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, CPUFP32: true},
+		OutputShapes: []tensor.Shape{{1, 1000}},
+	}
+}
+
+// AlexNet reconstructs AlexNet at 256→227 (Table I row 5): ~60M
+// parameters, FC-dominated. Table I lists it unsupported on NNAPI.
+func AlexNet() *Model {
+	b := nn.NewBuilder("AlexNet", 227, 227, 3)
+	b.Conv(96, 11, 4).ReLU().LRN().MaxPoolValid(3, 2)
+	b.Conv(256, 5, 1).ReLU().LRN().MaxPoolValid(3, 2)
+	b.Conv(384, 3, 1).ReLU()
+	b.Conv(384, 3, 1).ReLU()
+	b.Conv(256, 3, 1).ReLU().MaxPoolValid(3, 2)
+	b.FC(4096).ReLU().FC(4096).ReLU().FC(1000).Softmax()
+	pre := classifierPre(227)
+	pre.CropFraction = 227.0 / 256.0 // paper lists 256×256 source resolution
+	return &Model{
+		Name: "AlexNet", Task: Classification,
+		InputW: 227, InputH: 227, NumClasses: 1000,
+		Graph:        b.Graph(),
+		Pre:          pre,
+		PostTasks:    "topK",
+		Support:      Support{CPUFP32: true, CPUInt8: true},
+		OutputShapes: []tensor.Shape{{1, 1000}},
+	}
+}
+
+// NasNetMobile reconstructs NASNet-A Mobile at 331×331 (Table I row 2):
+// ~5.3M parameters, ~560M MACs. The cell topology is approximated with
+// stacked separable-conv cells at NASNet's channel schedule; MAC totals
+// match the model card, which is what drives cost and partitioning.
+func NasNetMobile() *Model {
+	b := nn.NewBuilder("NasNet Mobile", 331, 331, 3)
+	b.Conv(32, 3, 2).ReLU()
+	cell := func(c int, reduce bool) {
+		s := 1
+		if reduce {
+			s = 2
+		}
+		b.DWConv(5, s).ReLU().Conv(c, 1, 1).ReLU()
+		b.DWConv(3, 1).ReLU().Conv(c, 1, 1).ReLU()
+	}
+	// Reduction to stride 8 then three stacks of five cells at 66/132/264.
+	cell(66, true)
+	cell(66, true)
+	for i := 0; i < 5; i++ {
+		cell(66, false)
+	}
+	cell(132, true)
+	for i := 0; i < 5; i++ {
+		cell(132, false)
+	}
+	cell(264, true)
+	for i := 0; i < 5; i++ {
+		cell(264, false)
+	}
+	b.Conv(1056, 1, 1).ReLU().GlobalAvgPool().FC(1001).Softmax()
+	return &Model{
+		Name: "NasNet Mobile", Task: Classification,
+		InputW: 331, InputH: 331, NumClasses: 1001,
+		Graph:        b.Graph(),
+		Pre:          classifierPre(331),
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, CPUFP32: true},
+		OutputShapes: []tensor.Shape{{1, 1001}},
+	}
+}

@@ -1,0 +1,68 @@
+package models
+
+import (
+	"aitax/internal/nn"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+)
+
+// mobileNetV2Backbone lays down the standard MobileNet-v2 feature
+// extractor. When outputStride16 is set, the final stage keeps stride 1
+// (dilated), as DeepLab's OS-16 configuration requires.
+func mobileNetV2Backbone(b *nn.Builder, outputStride16 bool) {
+	b.Conv(32, 3, 2).ReLU6()
+	type stage struct{ t, c, n, s int }
+	stages := []stage{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for si, st := range stages {
+		for i := 0; i < st.n; i++ {
+			s := 1
+			if i == 0 {
+				s = st.s
+				if outputStride16 && si == 5 {
+					s = 1 // dilate instead of stride for OS-16
+				}
+			}
+			b.InvertedResidual(st.c, s, st.t)
+		}
+	}
+}
+
+// SSDMobileNetV2 reconstructs SSD MobileNet v2 at 300×300 (Table I row 9)
+// with the standard 1917-anchor SSDLite head over 91 COCO classes.
+func SSDMobileNetV2() *Model {
+	b := nn.NewBuilder("SSD MobileNet v2", 300, 300, 3)
+	mobileNetV2Backbone(b, false)
+	// Feature pyramid: bottlenecked extra layers shrinking 10x10 -> 1x1.
+	b.Conv(1280, 1, 1).ReLU6()
+	b.Conv(256, 1, 1).ReLU6().Conv(512, 3, 2).ReLU6()
+	b.Conv(128, 1, 1).ReLU6().Conv(256, 3, 2).ReLU6()
+	b.Conv(128, 1, 1).ReLU6().Conv(256, 3, 2).ReLU6()
+	b.Conv(64, 1, 1).ReLU6().Conv(128, 3, 2).ReLU6()
+	// Prediction heads (box regressors + class scores), modelled as the
+	// aggregate 1×1 convolutions over the pyramid features.
+	b.Conv(4*6, 3, 1) // box head
+	b.SetChannels(128)
+	b.Conv(91*6, 3, 1).Softmax() // class head
+	const anchors = 1917
+	return &Model{
+		Name: "SSD MobileNet v2", Task: ObjectDetection,
+		InputW: 300, InputH: 300, NumClasses: 91,
+		Graph: b.Graph(),
+		Pre: preproc.Spec{
+			CropFraction: 0.875,
+			TargetW:      300, TargetH: 300,
+			Mean: 127.5, Std: 127.5,
+		},
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, NNAPIInt8: true, CPUFP32: true, CPUInt8: true},
+		OutputShapes: []tensor.Shape{{1, anchors, 4}, {1, anchors, 91}},
+	}
+}

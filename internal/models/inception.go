@@ -1,0 +1,136 @@
+package models
+
+import (
+	"aitax/internal/nn"
+	"aitax/internal/tensor"
+)
+
+// inceptionA lays down an Inception-A-style module: 1×1, 5×5 (as two
+// branch convs), double-3×3 and pooled-1×1 branches, concatenated.
+// in is the module's input width; the output width is the branch sum.
+func inceptionA(b *nn.Builder, in, poolProj int) int {
+	b.Conv(64, 1, 1).ReLU()
+	b.SetChannels(in).Conv(48, 1, 1).ReLU().Conv(64, 5, 1).ReLU()
+	b.SetChannels(in).Conv(64, 1, 1).ReLU().Conv(96, 3, 1).ReLU().Conv(96, 3, 1).ReLU()
+	b.SetChannels(in).AvgPool(3, 1).Conv(poolProj, 1, 1).ReLU()
+	out := 64 + 64 + 96 + poolProj
+	b.Concat(out)
+	return out
+}
+
+// inceptionB lays down a 17×17-stage module built around factorized 7×7
+// convolutions (1×7 followed by 7×1), the structure that makes the
+// Inception B stage cheap relative to a full 7×7.
+func inceptionB(b *nn.Builder, in, mid int) int {
+	b.Conv(192, 1, 1).ReLU()
+	b.SetChannels(in).Conv(mid, 1, 1).ReLU().ConvRect(mid, 1, 7).ReLU().ConvRect(192, 7, 1).ReLU()
+	b.SetChannels(in).Conv(mid, 1, 1).ReLU().
+		ConvRect(mid, 7, 1).ReLU().ConvRect(mid, 1, 7).ReLU().
+		ConvRect(mid, 7, 1).ReLU().ConvRect(192, 1, 7).ReLU()
+	b.SetChannels(in).AvgPool(3, 1).Conv(192, 1, 1).ReLU()
+	out := 192 * 4
+	b.Concat(out)
+	return out
+}
+
+// inceptionC lays down an 8×8-stage module whose 3×3 convolutions are
+// factorized into 1×3/3×1 pairs, as in the published architecture.
+func inceptionC(b *nn.Builder, in int) int {
+	b.Conv(320, 1, 1).ReLU()
+	b.SetChannels(in).Conv(384, 1, 1).ReLU().ConvRect(192, 1, 3).ReLU().ConvRect(192, 3, 1).ReLU()
+	b.SetChannels(in).Conv(448, 1, 1).ReLU().ConvRect(384, 3, 1).ReLU().
+		ConvRect(192, 1, 3).ReLU().ConvRect(192, 3, 1).ReLU()
+	b.SetChannels(in).AvgPool(3, 1).Conv(192, 1, 1).ReLU()
+	out := 320 + 384 + 384 + 192
+	b.Concat(out)
+	return out
+}
+
+// InceptionV3 reconstructs Inception v3 at 299×299 (Table I row 7, used
+// as the face-recognition workload): ~23.8M parameters, ~5.7 GFLOPs.
+// Only about half of its ops offload under NNAPI on the studied SoCs,
+// which the driver support matrices encode.
+func InceptionV3() *Model {
+	b := nn.NewBuilder("Inception v3", 299, 299, 3)
+	// Stem.
+	b.Conv(32, 3, 2).ReLU()
+	b.Conv(32, 3, 1).ReLU()
+	b.Conv(64, 3, 1).ReLU().MaxPool(3, 2)
+	b.Conv(80, 1, 1).ReLU()
+	b.Conv(192, 3, 1).ReLU().MaxPool(3, 2)
+	b.SetSpatial(35, 35)
+	// 3 × Inception-A at 35×35.
+	w := inceptionA(b, 192, 32)
+	w = inceptionA(b, w, 64)
+	w = inceptionA(b, w, 64)
+	// Reduction to 17×17.
+	b.Conv(384, 3, 2).ReLU()
+	b.SetSpatial(17, 17).SetChannels(768)
+	// 4 × Inception-B at 17×17.
+	w = 768
+	for i := 0; i < 4; i++ {
+		w = inceptionB(b, w, 128+32*i)
+	}
+	// Reduction to 8×8.
+	b.Conv(1280, 3, 2).ReLU()
+	b.SetSpatial(8, 8).SetChannels(1280)
+	// 2 × Inception-C at 8×8.
+	w = inceptionC(b, 1280)
+	w = inceptionC(b, w)
+	b.Conv(2048, 1, 1).ReLU()
+	b.GlobalAvgPool().FC(1001).Softmax()
+	return &Model{
+		Name: "Inception v3", Task: FaceRecognition,
+		InputW: 299, InputH: 299, NumClasses: 1001,
+		Graph:        b.Graph(),
+		Pre:          classifierPre(299),
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, NNAPIInt8: true, CPUFP32: true, CPUInt8: true},
+		OutputShapes: []tensor.Shape{{1, 1001}},
+	}
+}
+
+// InceptionV4 reconstructs Inception v4 at 299×299 (Table I row 6):
+// ~42.7M parameters, roughly double Inception v3's compute.
+func InceptionV4() *Model {
+	b := nn.NewBuilder("Inception v4", 299, 299, 3)
+	// Stem (heavier than v3's).
+	b.Conv(32, 3, 2).ReLU()
+	b.Conv(32, 3, 1).ReLU()
+	b.Conv(64, 3, 1).ReLU()
+	b.Conv(96, 3, 2).ReLU()
+	b.Conv(96, 3, 1).ReLU()
+	b.Conv(192, 3, 1).ReLU().MaxPool(3, 2)
+	b.SetSpatial(35, 35).SetChannels(384)
+	// 4 × Inception-A.
+	w := 384
+	for i := 0; i < 4; i++ {
+		w = inceptionA(b, w, 96)
+	}
+	// Reduction.
+	b.Conv(1024, 3, 2).ReLU()
+	b.SetSpatial(17, 17).SetChannels(1024)
+	// 7 × Inception-B.
+	w = 1024
+	for i := 0; i < 7; i++ {
+		w = inceptionB(b, w, 192)
+	}
+	// Reduction.
+	b.Conv(1536, 3, 2).ReLU()
+	b.SetSpatial(8, 8).SetChannels(1536)
+	// 3 × Inception-C.
+	for i := 0; i < 3; i++ {
+		w = inceptionC(b, 1536)
+		b.SetChannels(1536)
+	}
+	b.GlobalAvgPool().FC(1001).Softmax()
+	return &Model{
+		Name: "Inception v4", Task: FaceRecognition,
+		InputW: 299, InputH: 299, NumClasses: 1001,
+		Graph:        b.Graph(),
+		Pre:          classifierPre(299),
+		PostTasks:    "topK",
+		Support:      Support{NNAPIFP32: true, NNAPIInt8: true, CPUFP32: true, CPUInt8: true},
+		OutputShapes: []tensor.Shape{{1, 1001}},
+	}
+}

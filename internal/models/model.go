@@ -1,0 +1,191 @@
+// Package models is the model zoo: op-graph reconstructions of the eleven
+// TFLite-hosted models in the paper's Table I, with their pre- and
+// post-processing specifications and framework support matrix. Parameter
+// and MAC counts track the published model cards closely enough that
+// relative inference costs (and which ops a driver can offload) are
+// faithful; exact weights are irrelevant to the AI-tax analysis.
+package models
+
+import (
+	"fmt"
+
+	"aitax/internal/nn"
+	"aitax/internal/postproc"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+	"aitax/internal/work"
+)
+
+// Task is the ML task category from Table I.
+type Task string
+
+// Table-I task categories.
+const (
+	Classification     Task = "Classification"
+	FaceRecognition    Task = "Face Recognition"
+	Segmentation       Task = "Segmentation"
+	ObjectDetection    Task = "Object Detection"
+	PoseEstimation     Task = "Pose Estimation"
+	LanguageProcessing Task = "Language Processing"
+)
+
+// Support is the Table-I framework/precision support matrix (Y/N columns
+// NNAPI-fp32, NNAPI-int8, CPU-fp32, CPU-int8).
+type Support struct {
+	NNAPIFP32, NNAPIInt8, CPUFP32, CPUInt8 bool
+}
+
+// Supports reports whether the (framework, dtype) combination is listed.
+func (s Support) Supports(nnapi bool, dt tensor.DType) bool {
+	quant := dt == tensor.Int8 || dt == tensor.UInt8
+	switch {
+	case nnapi && !quant:
+		return s.NNAPIFP32
+	case nnapi && quant:
+		return s.NNAPIInt8
+	case !nnapi && !quant:
+		return s.CPUFP32
+	default:
+		return s.CPUInt8
+	}
+}
+
+// Model couples a graph with its pipeline requirements.
+type Model struct {
+	Name           string
+	Task           Task
+	InputW, InputH int
+	NumClasses     int
+	Graph          *nn.Graph
+	Pre            preproc.Spec // fp32 pipeline; QuantPre derives the int8 one
+	PostTasks      string       // Table-I post-processing description
+	Support        Support
+
+	// OutputShapes lists the model's raw output tensors, used by the
+	// runtime to fabricate outputs for real post-processing runs.
+	OutputShapes []tensor.Shape
+
+	// PoseOutputStride is set for pose models (keypoint decode).
+	PoseOutputStride int
+}
+
+// Resolution renders the Table-I input resolution ("224x224"); language
+// models have none.
+func (m *Model) Resolution() string {
+	if m.InputW == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dx%d", m.InputW, m.InputH)
+}
+
+// PreSpec returns the pre-processing pipeline for the given precision.
+// Quantized variants replace normalization with byte-to-quantized type
+// conversion, as §II-B's "type conversion" paragraph describes.
+func (m *Model) PreSpec(dt tensor.DType) preproc.Spec {
+	s := m.Pre
+	if dt == tensor.Int8 || dt == tensor.UInt8 {
+		s.Quantized = true
+		s.DType = dt
+		s.Quant = tensor.QuantParams{Scale: 1, ZeroPoint: 0}
+		s.Mean, s.Std = 0, 0
+	}
+	return s
+}
+
+// PostDescription renders the Table-I post-processing cell; quantized
+// variants append the asterisked dequantization step.
+func (m *Model) PostDescription(dt tensor.DType) string {
+	if dt == tensor.Int8 || dt == tensor.UInt8 {
+		return m.PostTasks + ", dequantization"
+	}
+	return m.PostTasks
+}
+
+// PostWork estimates the post-processing compute demand for one inference.
+func (m *Model) PostWork(dt tensor.DType) work.Work {
+	var w work.Work
+	quant := dt == tensor.Int8 || dt == tensor.UInt8
+	switch m.Task {
+	case Classification, FaceRecognition:
+		if quant {
+			w = w.Add(postproc.DequantizeWork(m.NumClasses))
+		}
+		w = w.Add(postproc.TopKWork(m.NumClasses, 5))
+	case Segmentation:
+		w = w.Add(postproc.FlattenMaskWork(m.InputH, m.InputW, m.NumClasses))
+	case ObjectDetection:
+		n := m.OutputShapes[0][1]
+		if quant {
+			w = w.Add(postproc.DequantizeWork(n * (4 + m.NumClasses)))
+		}
+		w = w.Add(postproc.DetectionWork(n, m.NumClasses))
+	case PoseEstimation:
+		hm := m.OutputShapes[0]
+		w = w.Add(postproc.KeypointWork(hm[1], hm[2], hm[3]))
+	case LanguageProcessing:
+		w = w.Add(postproc.SoftmaxWork(m.NumClasses))
+		w = w.Add(postproc.TopKWork(m.NumClasses, 1))
+	}
+	return w
+}
+
+// Quantizable reports whether an int8 variant exists in any framework.
+func (m *Model) Quantizable() bool { return m.Support.NNAPIInt8 || m.Support.CPUInt8 }
+
+// Validate checks the model definition.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("models: unnamed model")
+	}
+	if err := m.Graph.Validate(); err != nil {
+		return fmt.Errorf("models: %s: %w", m.Name, err)
+	}
+	if err := m.Pre.Validate(); err != nil {
+		return fmt.Errorf("models: %s: %w", m.Name, err)
+	}
+	if len(m.OutputShapes) == 0 {
+		return fmt.Errorf("models: %s has no output shapes", m.Name)
+	}
+	if !m.Support.CPUFP32 && !m.Support.NNAPIFP32 && !m.Support.CPUInt8 && !m.Support.NNAPIInt8 {
+		return fmt.Errorf("models: %s supports nothing", m.Name)
+	}
+	return nil
+}
+
+// All returns the zoo in Table-I row order. Graphs are rebuilt on every
+// call; callers that need identity should cache.
+func All() []*Model {
+	return []*Model{
+		MobileNetV1(),
+		NasNetMobile(),
+		SqueezeNet(),
+		EfficientNetLite0(),
+		AlexNet(),
+		InceptionV4(),
+		InceptionV3(),
+		DeepLabV3(),
+		SSDMobileNetV2(),
+		PoseNet(),
+		MobileBERT(),
+	}
+}
+
+// ByName finds a model in the zoo by its Table-I name.
+func ByName(name string) (*Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q", name)
+}
+
+// Names lists the zoo's model names in Table-I order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, m := range all {
+		out[i] = m.Name
+	}
+	return out
+}

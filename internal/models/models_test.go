@@ -1,0 +1,260 @@
+package models
+
+import (
+	"testing"
+
+	"aitax/internal/nn"
+	"aitax/internal/tensor"
+)
+
+func TestZooHasElevenModels(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("zoo size = %d, want 11 (Table I)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if seen[m.Name] {
+			t.Fatalf("duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// macRange pins each model's compute within a plausible band around the
+// published model-card numbers (MACs, in millions).
+func TestModelMACsMatchPublishedScale(t *testing.T) {
+	ranges := map[string][2]float64{
+		"MobileNet 1.0 v1":        {500, 650},    // 569M published
+		"NasNet Mobile":           {280, 700},    // 564M published
+		"SqueezeNet":              {600, 1300},   // ~0.86G (1.0)
+		"EfficientNet-Lite0":      {300, 500},    // ~390M
+		"AlexNet":                 {700, 1500},   // ~0.72G
+		"Inception v4":            {8000, 16000}, // ~12.3G
+		"Inception v3":            {4500, 8000},  // ~5.7G
+		"Deeplab-v3 MobileNet-v2": {2500, 9000},
+		"SSD MobileNet v2":        {450, 900},  // ~0.8G
+		"PoseNet":                 {500, 1100}, // MobileNet-v1 backbone, OS16
+		"Mobile BERT":             {2000, 4000},
+	}
+	for _, m := range All() {
+		r, ok := ranges[m.Name]
+		if !ok {
+			t.Errorf("no MAC range for %s", m.Name)
+			continue
+		}
+		mmacs := float64(m.Graph.TotalMACs()) / 1e6
+		if mmacs < r[0] || mmacs > r[1] {
+			t.Errorf("%s: %.0f MMACs outside [%v, %v]", m.Name, mmacs, r[0], r[1])
+		}
+	}
+}
+
+func TestModelParamsMatchPublishedScale(t *testing.T) {
+	ranges := map[string][2]float64{ // millions of parameters
+		"MobileNet 1.0 v1":        {3.5, 5},
+		"NasNet Mobile":           {1.5, 7},
+		"SqueezeNet":              {1, 2},
+		"EfficientNet-Lite0":      {3.5, 6},
+		"AlexNet":                 {50, 75},
+		"Inception v4":            {35, 55},
+		"Inception v3":            {20, 35},
+		"Deeplab-v3 MobileNet-v2": {2, 8},
+		"SSD MobileNet v2":        {3, 8},
+		"PoseNet":                 {2, 5},
+		"Mobile BERT":             {20, 45},
+	}
+	for _, m := range All() {
+		r := ranges[m.Name]
+		mp := float64(m.Graph.TotalParams()) / 1e6
+		if mp < r[0] || mp > r[1] {
+			t.Errorf("%s: %.2fM params outside [%v, %v]", m.Name, mp, r[0], r[1])
+		}
+	}
+}
+
+func TestInceptionHeavierThanMobileModels(t *testing.T) {
+	// The paper attributes Inception's inference dominance to having
+	// "significantly more parameters and operations" than mobile models.
+	v3, _ := ByName("Inception v3")
+	v4, _ := ByName("Inception v4")
+	mob, _ := ByName("MobileNet 1.0 v1")
+	if v3.Graph.TotalMACs() < 5*mob.Graph.TotalMACs() {
+		t.Error("Inception v3 must be >5x MobileNet compute")
+	}
+	if v4.Graph.TotalMACs() < v3.Graph.TotalMACs() {
+		t.Error("Inception v4 must exceed v3")
+	}
+}
+
+func TestTableISupportMatrix(t *testing.T) {
+	want := map[string]Support{
+		"MobileNet 1.0 v1":        {true, true, true, true},
+		"NasNet Mobile":           {true, false, true, false},
+		"SqueezeNet":              {true, false, true, false},
+		"EfficientNet-Lite0":      {true, true, true, true},
+		"AlexNet":                 {false, false, true, true},
+		"Inception v4":            {true, true, true, true},
+		"Inception v3":            {true, true, true, true},
+		"Deeplab-v3 MobileNet-v2": {true, false, true, false},
+		"SSD MobileNet v2":        {true, true, true, true},
+		"PoseNet":                 {true, false, true, false},
+		"Mobile BERT":             {true, false, true, false},
+	}
+	for _, m := range All() {
+		if m.Support != want[m.Name] {
+			t.Errorf("%s support = %+v, want %+v", m.Name, m.Support, want[m.Name])
+		}
+	}
+}
+
+func TestSupportsLookup(t *testing.T) {
+	s := Support{NNAPIFP32: true, CPUFP32: true, CPUInt8: true}
+	if !s.Supports(true, tensor.Float32) || s.Supports(true, tensor.Int8) {
+		t.Fatal("NNAPI support lookup wrong")
+	}
+	if !s.Supports(false, tensor.UInt8) {
+		t.Fatal("CPU int8 lookup wrong")
+	}
+}
+
+func TestResolutions(t *testing.T) {
+	want := map[string]string{
+		"MobileNet 1.0 v1":        "224x224",
+		"NasNet Mobile":           "331x331",
+		"SqueezeNet":              "227x227",
+		"EfficientNet-Lite0":      "224x224",
+		"AlexNet":                 "227x227",
+		"Inception v4":            "299x299",
+		"Inception v3":            "299x299",
+		"Deeplab-v3 MobileNet-v2": "513x513",
+		"SSD MobileNet v2":        "300x300",
+		"PoseNet":                 "224x224",
+		"Mobile BERT":             "-",
+	}
+	for _, m := range All() {
+		if m.Resolution() != want[m.Name] {
+			t.Errorf("%s resolution = %s, want %s", m.Name, m.Resolution(), want[m.Name])
+		}
+	}
+}
+
+func TestPreSpecsMatchTableI(t *testing.T) {
+	want := map[string]string{
+		"MobileNet 1.0 v1":        "scale, crop, normalize",
+		"Deeplab-v3 MobileNet-v2": "scale, normalize",
+		"PoseNet":                 "scale, crop, normalize, rotate",
+		"Mobile BERT":             "tokenization",
+	}
+	for name, tasks := range want {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Pre.Tasks(); got != tasks {
+			t.Errorf("%s pre tasks = %q, want %q", name, got, tasks)
+		}
+	}
+}
+
+func TestQuantizedPreSpecSwitchesToTypeConversion(t *testing.T) {
+	m, _ := ByName("MobileNet 1.0 v1")
+	q := m.PreSpec(tensor.UInt8)
+	if !q.Quantized || q.DType != tensor.UInt8 {
+		t.Fatal("quantized spec not set")
+	}
+	f := m.PreSpec(tensor.Float32)
+	if f.Quantized {
+		t.Fatal("fp32 spec must not be quantized")
+	}
+}
+
+func TestPostDescription(t *testing.T) {
+	m, _ := ByName("MobileNet 1.0 v1")
+	if m.PostDescription(tensor.Float32) != "topK" {
+		t.Fatalf("fp32 post = %q", m.PostDescription(tensor.Float32))
+	}
+	if m.PostDescription(tensor.UInt8) != "topK, dequantization" {
+		t.Fatalf("int8 post = %q", m.PostDescription(tensor.UInt8))
+	}
+}
+
+func TestPostWorkByTask(t *testing.T) {
+	for _, m := range All() {
+		w := m.PostWork(tensor.Float32)
+		if w.Ops <= 0 {
+			t.Errorf("%s post work must be positive", m.Name)
+		}
+	}
+	// Segmentation post-processing must dwarf classification's.
+	dl, _ := ByName("Deeplab-v3 MobileNet-v2")
+	mb, _ := ByName("MobileNet 1.0 v1")
+	if dl.PostWork(tensor.Float32).Ops < 100*mb.PostWork(tensor.Float32).Ops {
+		t.Error("mask flattening must be far heavier than topK")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	m, err := ByName("PoseNet")
+	if err != nil || m.PoseOutputStride != 16 {
+		t.Fatalf("PoseNet lookup: %v, stride %d", err, m.PoseOutputStride)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 11 || names[0] != "MobileNet 1.0 v1" || names[10] != "Mobile BERT" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestOutputShapes(t *testing.T) {
+	ssd, _ := ByName("SSD MobileNet v2")
+	if len(ssd.OutputShapes) != 2 || ssd.OutputShapes[0][1] != 1917 {
+		t.Fatalf("SSD outputs = %v", ssd.OutputShapes)
+	}
+	pose, _ := ByName("PoseNet")
+	if len(pose.OutputShapes) != 2 || pose.OutputShapes[0][3] != 17 {
+		t.Fatalf("PoseNet outputs = %v", pose.OutputShapes)
+	}
+	dl, _ := ByName("Deeplab-v3 MobileNet-v2")
+	if !dl.OutputShapes[0].Equal(tensor.Shape{1, 513, 513, 21}) {
+		t.Fatalf("DeepLab output = %v", dl.OutputShapes[0])
+	}
+}
+
+func TestGraphsAreMostlyConvs(t *testing.T) {
+	// CNN graphs must be dominated by conv-like MACs so NNAPI op-support
+	// matrices bite where they should.
+	for _, m := range All() {
+		if m.Task == LanguageProcessing {
+			continue
+		}
+		hist := m.Graph.KindHistogram()
+		if hist[nn.Conv2D]+hist[nn.DepthwiseConv2D] == 0 {
+			t.Errorf("%s has no convolutions", m.Name)
+		}
+	}
+}
+
+func TestQuantizable(t *testing.T) {
+	mb, _ := ByName("MobileNet 1.0 v1")
+	if !mb.Quantizable() {
+		t.Fatal("MobileNet must be quantizable")
+	}
+	pn, _ := ByName("PoseNet")
+	if pn.Quantizable() {
+		t.Fatal("PoseNet int8 is not in Table I")
+	}
+}

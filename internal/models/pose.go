@@ -1,0 +1,44 @@
+package models
+
+import (
+	"aitax/internal/nn"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+)
+
+// PoseNet reconstructs the PoseNet MobileNet-v1 person pose model at
+// 224×224 (Table I row 10): an OS-16 MobileNet v1 backbone with heatmap
+// and offset heads over 17 keypoints. Its pre-processing includes the
+// rotate step (§II-B) and its post-processing is keypoint calculation.
+func PoseNet() *Model {
+	b := nn.NewBuilder("PoseNet", 224, 224, 3)
+	b.Conv(32, 3, 2).ReLU6()
+	type blk struct{ c, s int }
+	for _, bl := range []blk{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		// Final stage keeps stride 1 so the output stays 14×14 (OS 16).
+		{1024, 1}, {1024, 1},
+	} {
+		b.Separable(bl.c, bl.s)
+	}
+	// Heads: 17 keypoint heatmaps + 34 offset channels.
+	b.Conv(17, 1, 1).Sigmoid()
+	b.SetChannels(1024)
+	b.Conv(34, 1, 1)
+	return &Model{
+		Name: "PoseNet", Task: PoseEstimation,
+		InputW: 224, InputH: 224, NumClasses: 17,
+		Graph: b.Graph(),
+		Pre: preproc.Spec{
+			CropFraction: 0.875,
+			TargetW:      224, TargetH: 224,
+			Mean: 127.5, Std: 127.5,
+			RotateTurns: 1,
+		},
+		PostTasks:        "calculate keypoints",
+		Support:          Support{NNAPIFP32: true, CPUFP32: true},
+		OutputShapes:     []tensor.Shape{{1, 14, 14, 17}, {1, 14, 14, 34}},
+		PoseOutputStride: 16,
+	}
+}

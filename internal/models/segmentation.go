@@ -1,0 +1,44 @@
+package models
+
+import (
+	"aitax/internal/nn"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+)
+
+// DeepLabV3 reconstructs Deeplab-v3 with a MobileNet-v2 backbone at
+// 513×513 (Table I row 8): OS-16 feature extraction, an ASPP module with
+// dilated branches, and bilinear upsampling back to input resolution.
+// The paper notes its pre-processing has no crop step and its
+// post-processing is mask flattening.
+func DeepLabV3() *Model {
+	b := nn.NewBuilder("Deeplab-v3 MobileNet-v2", 513, 513, 3)
+	mobileNetV2Backbone(b, true)
+	// Backbone leaves a 33×33×320 feature map (513 / 16 ≈ 33).
+	b.SetSpatial(33, 33)
+	in := 320
+	// ASPP: 1×1 branch, three dilated 3×3 branches, image pooling branch.
+	b.SetChannels(in).Conv(256, 1, 1).ReLU()
+	b.SetChannels(in).DilatedConv(256, 3, 6).ReLU()
+	b.SetChannels(in).DilatedConv(256, 3, 12).ReLU()
+	b.SetChannels(in).DilatedConv(256, 3, 18).ReLU()
+	b.SetChannels(in).GlobalAvgPool().Conv(256, 1, 1).ReLU().Upsample(33, 33)
+	b.Concat(256 * 5)
+	// Projection and classifier head.
+	b.Conv(256, 1, 1).ReLU()
+	b.Conv(21, 1, 1)
+	b.Upsample(513, 513)
+	return &Model{
+		Name: "Deeplab-v3 MobileNet-v2", Task: Segmentation,
+		InputW: 513, InputH: 513, NumClasses: 21,
+		Graph: b.Graph(),
+		Pre: preproc.Spec{
+			TargetW: 513, TargetH: 513,
+			Mean: 127.5, Std: 127.5,
+			Native: true,
+		},
+		PostTasks:    "mask flattening",
+		Support:      Support{NNAPIFP32: true, CPUFP32: true},
+		OutputShapes: []tensor.Shape{{1, 513, 513, 21}},
+	}
+}

@@ -1,0 +1,46 @@
+package nn
+
+// FuseActivations returns a copy of the graph with element-wise
+// activations (ReLU, ReLU6, Sigmoid) folded into the producing
+// convolution or fully-connected op — the standard TFLite/NNAPI graph
+// optimization. Fusion removes the activation's separate dispatch (and,
+// on delegates, its kernel launch and memory round-trip): activation
+// FLOPs fold into the producer and the intermediate activation traffic
+// disappears.
+//
+// The returned graph shares no Op structs with the input.
+func FuseActivations(g *Graph) *Graph {
+	out := NewGraph(g.Name, g.InputShape)
+	ops := g.Ops()
+	for i := 0; i < len(ops); i++ {
+		op := *ops[i] // copy
+		if fusable(op.Kind) && i+1 < len(ops) && isActivation(ops[i+1].Kind) {
+			act := ops[i+1]
+			// The activation's element-wise cost rides along with the
+			// producer (it runs in-register on the producer's output).
+			op.MACs += act.FLOPs() / 2
+			op.Name = op.Name + "+" + act.Kind.String()
+			i++ // consume the activation
+		}
+		out.Append(&op)
+	}
+	return out
+}
+
+func fusable(k OpKind) bool {
+	switch k {
+	case Conv2D, DepthwiseConv2D, FullyConnected, Add:
+		return true
+	default:
+		return false
+	}
+}
+
+func isActivation(k OpKind) bool {
+	switch k {
+	case ReLU, ReLU6, Sigmoid:
+		return true
+	default:
+		return false
+	}
+}

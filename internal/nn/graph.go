@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"aitax/internal/tensor"
+)
+
+// Graph is an ordered operation list — the granularity at which NNAPI
+// partitions a model across devices (§II-D). The list order is a valid
+// topological execution order.
+type Graph struct {
+	Name       string
+	InputShape tensor.Shape
+	ops        []*Op
+}
+
+// NewGraph creates an empty graph with the given model input shape.
+func NewGraph(name string, input tensor.Shape) *Graph {
+	return &Graph{Name: name, InputShape: input.Clone()}
+}
+
+// Append adds an op to the end of the graph and returns it for chaining.
+func (g *Graph) Append(op *Op) *Op {
+	g.ops = append(g.ops, op)
+	return op
+}
+
+// Ops returns the operation list (not a copy; callers must not mutate).
+func (g *Graph) Ops() []*Op { return g.ops }
+
+// NumOps returns the operation count.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// TotalMACs sums multiply-accumulates across the graph.
+func (g *Graph) TotalMACs() int64 {
+	var n int64
+	for _, op := range g.ops {
+		n += op.MACs
+	}
+	return n
+}
+
+// TotalFLOPs sums FLOPs across the graph.
+func (g *Graph) TotalFLOPs() int64 {
+	var n int64
+	for _, op := range g.ops {
+		n += op.FLOPs()
+	}
+	return n
+}
+
+// TotalParams sums weight elements across the graph.
+func (g *Graph) TotalParams() int64 {
+	var n int64
+	for _, op := range g.ops {
+		n += op.Params
+	}
+	return n
+}
+
+// WeightBytes returns the model size for element type dt.
+func (g *Graph) WeightBytes(dt tensor.DType) int64 {
+	return g.TotalParams() * int64(dt.Size())
+}
+
+// Validate checks every op and the inter-op shape chaining of spatial ops.
+func (g *Graph) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("nn: graph with empty name")
+	}
+	if len(g.ops) == 0 {
+		return fmt.Errorf("nn: graph %s has no ops", g.Name)
+	}
+	names := make(map[string]bool, len(g.ops))
+	for i, op := range g.ops {
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("nn: graph %s op %d: %w", g.Name, i, err)
+		}
+		if names[op.Name] {
+			return fmt.Errorf("nn: graph %s has duplicate op name %q", g.Name, op.Name)
+		}
+		names[op.Name] = true
+	}
+	return nil
+}
+
+// KindHistogram counts ops by kind.
+func (g *Graph) KindHistogram() map[OpKind]int {
+	h := make(map[OpKind]int)
+	for _, op := range g.ops {
+		h[op.Kind]++
+	}
+	return h
+}
+
+// Summary renders a one-line description of the graph.
+func (g *Graph) Summary() string {
+	return fmt.Sprintf("%s: %d ops, %.1f MMACs, %.2fM params, input %v",
+		g.Name, g.NumOps(), float64(g.TotalMACs())/1e6, float64(g.TotalParams())/1e6, g.InputShape)
+}
+
+// Dump renders the full op list for debugging.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Summary())
+	for i, op := range g.ops {
+		fmt.Fprintf(&b, "%3d %-28s %-22s macs=%-12d params=%d\n", i, op.Name, op.Kind, op.MACs, op.Params)
+	}
+	return b.String()
+}

@@ -1,0 +1,314 @@
+package nn
+
+import (
+	"fmt"
+
+	"aitax/internal/tensor"
+)
+
+// Builder constructs graphs layer by layer, tracking the current spatial
+// shape and computing SAME-padding output sizes, MACs and parameter
+// counts the way TFLite's converter reports them.
+type Builder struct {
+	g       *Graph
+	h, w, c int
+	seq     int // transformer sequence length, 0 for CNNs
+	hidden  int
+	n       int
+}
+
+// NewBuilder starts a CNN graph with an h×w×c input.
+func NewBuilder(name string, h, w, c int) *Builder {
+	return &Builder{g: NewGraph(name, tensor.Shape{1, h, w, c}), h: h, w: w, c: c}
+}
+
+// NewSeqBuilder starts a transformer graph over seq tokens of width hidden.
+func NewSeqBuilder(name string, seq, hidden int) *Builder {
+	b := &Builder{g: NewGraph(name, tensor.Shape{1, seq}), seq: seq, hidden: hidden}
+	return b
+}
+
+func (b *Builder) name(kind string) string {
+	b.n++
+	return fmt.Sprintf("%s_%d", kind, b.n)
+}
+
+func outDim(in, stride int) int { return (in + stride - 1) / stride } // SAME padding
+
+// Shape returns the builder's current activation shape (h, w, c).
+func (b *Builder) Shape() (h, w, c int) { return b.h, b.w, b.c }
+
+// Conv appends a 2-D convolution with SAME padding, k×k kernel, the given
+// stride and output channels, including bias parameters.
+func (b *Builder) Conv(outC, k, stride int) *Builder {
+	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
+	op := &Op{
+		Name: b.name("conv"), Kind: Conv2D,
+		InH: b.h, InW: b.w, InC: b.c,
+		OutH: oh, OutW: ow, OutC: outC,
+		KH: k, KW: k, Stride: stride,
+		Params: int64(k)*int64(k)*int64(b.c)*int64(outC) + int64(outC),
+		MACs:   int64(oh) * int64(ow) * int64(outC) * int64(k) * int64(k) * int64(b.c),
+	}
+	b.g.Append(op)
+	b.h, b.w, b.c = oh, ow, outC
+	return b
+}
+
+// ConvRect appends a rectangular-kernel convolution (kh×kw), SAME padding
+// and stride 1 — the factorized 1×7/7×1 pairs of Inception v3/v4.
+func (b *Builder) ConvRect(outC, kh, kw int) *Builder {
+	op := &Op{
+		Name: b.name("conv"), Kind: Conv2D,
+		InH: b.h, InW: b.w, InC: b.c,
+		OutH: b.h, OutW: b.w, OutC: outC,
+		KH: kh, KW: kw, Stride: 1,
+		Params: int64(kh)*int64(kw)*int64(b.c)*int64(outC) + int64(outC),
+		MACs:   int64(b.h) * int64(b.w) * int64(outC) * int64(kh) * int64(kw) * int64(b.c),
+	}
+	b.g.Append(op)
+	b.c = outC
+	return b
+}
+
+// MaxPoolValid appends a k×k max pool with VALID padding
+// (out = (in-k)/stride + 1), the AlexNet-era convention.
+func (b *Builder) MaxPoolValid(k, stride int) *Builder {
+	oh := (b.h-k)/stride + 1
+	ow := (b.w-k)/stride + 1
+	b.g.Append(&Op{Name: b.name("maxpool"), Kind: MaxPool,
+		InH: b.h, InW: b.w, InC: b.c, OutH: oh, OutW: ow, OutC: b.c,
+		KH: k, KW: k, Stride: stride})
+	b.h, b.w = oh, ow
+	return b
+}
+
+// DilatedConv appends an atrous convolution (DeepLab's ASPP); dilation
+// affects the receptive field, not the MAC count, and SAME padding keeps
+// the spatial size.
+func (b *Builder) DilatedConv(outC, k, dilation int) *Builder {
+	op := &Op{
+		Name: b.name("atrous"), Kind: Conv2D,
+		InH: b.h, InW: b.w, InC: b.c,
+		OutH: b.h, OutW: b.w, OutC: outC,
+		KH: k, KW: k, Stride: 1, Dilation: dilation,
+		Params: int64(k)*int64(k)*int64(b.c)*int64(outC) + int64(outC),
+		MACs:   int64(b.h) * int64(b.w) * int64(outC) * int64(k) * int64(k) * int64(b.c),
+	}
+	b.g.Append(op)
+	b.c = outC
+	return b
+}
+
+// DWConv appends a depthwise convolution (channel multiplier 1).
+func (b *Builder) DWConv(k, stride int) *Builder {
+	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
+	op := &Op{
+		Name: b.name("dwconv"), Kind: DepthwiseConv2D,
+		InH: b.h, InW: b.w, InC: b.c,
+		OutH: oh, OutW: ow, OutC: b.c,
+		KH: k, KW: k, Stride: stride,
+		Params: int64(k)*int64(k)*int64(b.c) + int64(b.c),
+		MACs:   int64(oh) * int64(ow) * int64(b.c) * int64(k) * int64(k),
+	}
+	b.g.Append(op)
+	b.h, b.w = oh, ow
+	return b
+}
+
+// ReLU6 appends the mobile-standard clipped activation.
+func (b *Builder) ReLU6() *Builder {
+	b.g.Append(&Op{Name: b.name("relu6"), Kind: ReLU6,
+		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
+	return b
+}
+
+// ReLU appends a plain rectifier.
+func (b *Builder) ReLU() *Builder {
+	b.g.Append(&Op{Name: b.name("relu"), Kind: ReLU,
+		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
+	return b
+}
+
+// Sigmoid appends a logistic activation.
+func (b *Builder) Sigmoid() *Builder {
+	b.g.Append(&Op{Name: b.name("sigmoid"), Kind: Sigmoid,
+		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
+	return b
+}
+
+// Separable appends a MobileNet-style depthwise-separable block:
+// 3×3 depthwise (stride s) + ReLU6 + 1×1 pointwise + ReLU6.
+func (b *Builder) Separable(outC, stride int) *Builder {
+	return b.DWConv(3, stride).ReLU6().Conv(outC, 1, 1).ReLU6()
+}
+
+// InvertedResidual appends an MBConv block (MobileNet v2 / EfficientNet):
+// 1×1 expand (×expand) + 3×3 depthwise + 1×1 project, with a residual Add
+// when the shapes allow it.
+func (b *Builder) InvertedResidual(outC, stride, expand int) *Builder {
+	inC := b.c
+	mid := inC * expand
+	b.Conv(mid, 1, 1).ReLU6()
+	b.DWConv(3, stride).ReLU6()
+	b.Conv(outC, 1, 1)
+	if stride == 1 && inC == outC {
+		b.g.Append(&Op{Name: b.name("add"), Kind: Add,
+			InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
+	}
+	return b
+}
+
+// MaxPool appends a k×k max pooling with the given stride.
+func (b *Builder) MaxPool(k, stride int) *Builder {
+	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
+	b.g.Append(&Op{Name: b.name("maxpool"), Kind: MaxPool,
+		InH: b.h, InW: b.w, InC: b.c, OutH: oh, OutW: ow, OutC: b.c,
+		KH: k, KW: k, Stride: stride})
+	b.h, b.w = oh, ow
+	return b
+}
+
+// AvgPool appends a k×k average pooling with the given stride.
+func (b *Builder) AvgPool(k, stride int) *Builder {
+	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
+	b.g.Append(&Op{Name: b.name("avgpool"), Kind: AvgPool,
+		InH: b.h, InW: b.w, InC: b.c, OutH: oh, OutW: ow, OutC: b.c,
+		KH: k, KW: k, Stride: stride})
+	b.h, b.w = oh, ow
+	return b
+}
+
+// GlobalAvgPool reduces the spatial extent to 1×1.
+func (b *Builder) GlobalAvgPool() *Builder {
+	b.g.Append(&Op{Name: b.name("gap"), Kind: AvgPool,
+		InH: b.h, InW: b.w, InC: b.c, OutH: 1, OutW: 1, OutC: b.c,
+		KH: b.h, KW: b.w, Stride: 1})
+	b.h, b.w = 1, 1
+	return b
+}
+
+// LRN appends AlexNet-style local response normalization.
+func (b *Builder) LRN() *Builder {
+	b.g.Append(&Op{Name: b.name("lrn"), Kind: LocalResponseNorm,
+		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
+	return b
+}
+
+// FC appends a fully-connected layer over the flattened activation.
+func (b *Builder) FC(out int) *Builder {
+	in := int64(b.h) * int64(b.w) * int64(b.c)
+	b.g.Append(&Op{Name: b.name("fc"), Kind: FullyConnected,
+		InH: 1, InW: 1, InC: int(in), OutH: 1, OutW: 1, OutC: out,
+		Params: in*int64(out) + int64(out),
+		MACs:   in * int64(out)})
+	b.h, b.w, b.c = 1, 1, out
+	return b
+}
+
+// Softmax appends the final classification softmax.
+func (b *Builder) Softmax() *Builder {
+	b.g.Append(&Op{Name: b.name("softmax"), Kind: Softmax,
+		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
+	return b
+}
+
+// Upsample appends an in-graph bilinear resize to h×w (DeepLab decoder).
+func (b *Builder) Upsample(h, w int) *Builder {
+	b.g.Append(&Op{Name: b.name("resize"), Kind: ResizeBilinearOp,
+		InH: b.h, InW: b.w, InC: b.c, OutH: h, OutW: w, OutC: b.c})
+	b.h, b.w = h, w
+	return b
+}
+
+// Concat appends a channel concatenation that widens the activation to
+// totalC channels (modelling an inception-module join).
+func (b *Builder) Concat(totalC int) *Builder {
+	b.g.Append(&Op{Name: b.name("concat"), Kind: Concat,
+		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: totalC})
+	b.c = totalC
+	return b
+}
+
+// --- Transformer layers (Mobile BERT) ---
+
+// Embedding appends a token-embedding lookup over a vocab of the given size.
+func (b *Builder) Embedding(vocab int) *Builder {
+	b.g.Append(&Op{Name: b.name("embed"), Kind: Embedding,
+		Seq: b.seq, Hidden: b.hidden, Inner: b.hidden,
+		Params: int64(vocab) * int64(b.hidden)})
+	return b
+}
+
+// TransformerLayer appends one encoder layer: Q/K/V/O projections,
+// attention score and context matmuls, layer norms, and the FFN.
+func (b *Builder) TransformerLayer(heads, inner int) *Builder {
+	s, h := int64(b.seq), int64(b.hidden)
+	proj := func(label string) {
+		b.g.Append(&Op{Name: b.name(label), Kind: MatMul,
+			Seq: b.seq, Hidden: b.hidden, Inner: b.hidden, Heads: heads,
+			Params: h*h + h,
+			MACs:   s * h * h})
+	}
+	proj("attn_q")
+	proj("attn_k")
+	proj("attn_v")
+	// scores = QK^T: seq×seq×hidden; context = scores·V: same cost.
+	b.g.Append(&Op{Name: b.name("attn_scores"), Kind: MatMul,
+		Seq: b.seq, Hidden: b.hidden, Inner: b.seq, Heads: heads,
+		MACs: s * s * h})
+	b.g.Append(&Op{Name: b.name("attn_softmax"), Kind: Softmax,
+		Seq: b.seq, Hidden: b.seq, Inner: b.seq})
+	b.g.Append(&Op{Name: b.name("attn_context"), Kind: MatMul,
+		Seq: b.seq, Hidden: b.seq, Inner: b.hidden, Heads: heads,
+		MACs: s * s * h})
+	proj("attn_out")
+	b.g.Append(&Op{Name: b.name("ln_attn"), Kind: LayerNorm,
+		Seq: b.seq, Hidden: b.hidden, Inner: b.hidden, Params: 2 * h})
+	// FFN: hidden→inner→hidden with GELU.
+	b.g.Append(&Op{Name: b.name("ffn_in"), Kind: MatMul,
+		Seq: b.seq, Hidden: b.hidden, Inner: inner,
+		Params: h*int64(inner) + int64(inner),
+		MACs:   s * h * int64(inner)})
+	b.g.Append(&Op{Name: b.name("gelu"), Kind: GELU,
+		Seq: b.seq, Hidden: inner, Inner: inner})
+	b.g.Append(&Op{Name: b.name("ffn_out"), Kind: MatMul,
+		Seq: b.seq, Hidden: inner, Inner: b.hidden,
+		Params: int64(inner)*h + h,
+		MACs:   s * int64(inner) * h})
+	b.g.Append(&Op{Name: b.name("ln_ffn"), Kind: LayerNorm,
+		Seq: b.seq, Hidden: b.hidden, Inner: b.hidden, Params: 2 * h})
+	return b
+}
+
+// SeqClassifier appends the pooled classification head.
+func (b *Builder) SeqClassifier(classes int) *Builder {
+	h := int64(b.hidden)
+	b.g.Append(&Op{Name: b.name("pool_fc"), Kind: FullyConnected,
+		Seq: 1, Hidden: b.hidden, Inner: classes,
+		Params: h*int64(classes) + int64(classes),
+		MACs:   h * int64(classes)})
+	b.g.Append(&Op{Name: b.name("softmax"), Kind: Softmax,
+		Seq: 1, Hidden: classes, Inner: classes})
+	return b
+}
+
+// SetChannels rewinds the tracked channel count without adding an op.
+// Branching modules (Inception, SqueezeNet fire) lay parallel branches
+// down sequentially: each branch resets the input channels with this,
+// then Concat joins the widths. MAC accounting stays exact because each
+// branch charges for its true input width.
+func (b *Builder) SetChannels(c int) *Builder {
+	b.c = c
+	return b
+}
+
+// SetSpatial rewinds the tracked spatial size without adding an op (for
+// branches that pool or stride differently before a join).
+func (b *Builder) SetSpatial(h, w int) *Builder {
+	b.h, b.w = h, w
+	return b
+}
+
+// Graph finalizes and returns the built graph.
+func (b *Builder) Graph() *Graph { return b.g }

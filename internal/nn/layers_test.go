@@ -1,0 +1,223 @@
+package nn
+
+import (
+	"testing"
+
+	"aitax/internal/tensor"
+)
+
+func TestConvRect(t *testing.T) {
+	b := NewBuilder("r", 17, 17, 128)
+	b.ConvRect(192, 1, 7)
+	op := b.Graph().Ops()[0]
+	if op.KH != 1 || op.KW != 7 {
+		t.Fatalf("kernel = %dx%d", op.KH, op.KW)
+	}
+	if op.OutH != 17 || op.OutW != 17 {
+		t.Fatal("rect conv must keep spatial size (SAME, stride 1)")
+	}
+	want := int64(17*17) * 192 * 7 * 128
+	if op.MACs != want {
+		t.Fatalf("MACs = %d, want %d", op.MACs, want)
+	}
+	// Factorized 1x7 + 7x1 must be ~half the MACs of a full 7x7.
+	full := NewBuilder("f", 17, 17, 128)
+	full.Conv(192, 7, 1)
+	pair := 2 * op.MACs
+	if pair*3 > full.Graph().Ops()[0].MACs*2 {
+		t.Fatal("factorized pair should be much cheaper than full 7x7")
+	}
+}
+
+func TestMaxPoolValid(t *testing.T) {
+	b := NewBuilder("p", 57, 57, 96)
+	b.MaxPoolValid(3, 2)
+	h, w, _ := b.Shape()
+	if h != 28 || w != 28 { // (57-3)/2+1
+		t.Fatalf("valid pool dims = %dx%d, want 28x28", h, w)
+	}
+}
+
+func TestDilatedConv(t *testing.T) {
+	b := NewBuilder("d", 33, 33, 320)
+	b.DilatedConv(256, 3, 12)
+	op := b.Graph().Ops()[0]
+	if op.Dilation != 12 {
+		t.Fatalf("dilation = %d", op.Dilation)
+	}
+	if op.OutH != 33 || op.OutW != 33 {
+		t.Fatal("atrous conv must preserve spatial size")
+	}
+	// Dilation does not change MAC count.
+	plain := NewBuilder("p", 33, 33, 320)
+	plain.DilatedConv(256, 3, 1)
+	if op.MACs != plain.Graph().Ops()[0].MACs {
+		t.Fatal("dilation must not change MACs")
+	}
+}
+
+func TestActivationAndPoolBuilders(t *testing.T) {
+	b := NewBuilder("a", 8, 8, 4)
+	b.Sigmoid().LRN().MaxPool(2, 2).AvgPool(2, 2)
+	kinds := []OpKind{Sigmoid, LocalResponseNorm, MaxPool, AvgPool}
+	for i, k := range kinds {
+		if b.Graph().Ops()[i].Kind != k {
+			t.Fatalf("op %d kind = %v, want %v", i, b.Graph().Ops()[i].Kind, k)
+		}
+	}
+	h, w, _ := b.Shape()
+	if h != 2 || w != 2 {
+		t.Fatalf("pooled dims = %dx%d", h, w)
+	}
+}
+
+func TestSetChannelsAndSpatial(t *testing.T) {
+	b := NewBuilder("s", 10, 10, 3)
+	b.SetChannels(64).SetSpatial(5, 6)
+	h, w, c := b.Shape()
+	if h != 5 || w != 6 || c != 64 {
+		t.Fatalf("shape = %d,%d,%d", h, w, c)
+	}
+	if b.Graph().NumOps() != 0 {
+		t.Fatal("set helpers must not append ops")
+	}
+}
+
+func TestSeqClassifier(t *testing.T) {
+	b := NewSeqBuilder("c", 128, 384)
+	b.SeqClassifier(2)
+	g := b.Graph()
+	if g.NumOps() != 2 {
+		t.Fatalf("ops = %d", g.NumOps())
+	}
+	fc := g.Ops()[0]
+	if fc.Kind != FullyConnected || fc.MACs != 384*2 {
+		t.Fatalf("classifier head = %+v", fc)
+	}
+	if g.Ops()[1].Kind != Softmax {
+		t.Fatal("missing softmax")
+	}
+}
+
+func TestOpWork(t *testing.T) {
+	op := &Op{Name: "c", Kind: Conv2D, InH: 4, InW: 4, InC: 3,
+		OutH: 4, OutW: 4, OutC: 8, KH: 3, KW: 3, Stride: 1,
+		Params: 216, MACs: 3456}
+	w := op.Work(tensor.Float32)
+	if w.Ops != 2*3456 {
+		t.Fatalf("work ops = %d", w.Ops)
+	}
+	if !w.Vectorizable {
+		t.Fatal("conv work must be vectorizable")
+	}
+	wi := op.Work(tensor.Int8)
+	if wi.Bytes >= w.Bytes {
+		t.Fatal("int8 work must move fewer bytes")
+	}
+}
+
+func TestGraphWeightBytes(t *testing.T) {
+	b := NewBuilder("w", 8, 8, 3)
+	b.Conv(4, 3, 1)
+	g := b.Graph()
+	if g.WeightBytes(tensor.Float32) != g.TotalParams()*4 {
+		t.Fatal("fp32 weight bytes wrong")
+	}
+	if g.WeightBytes(tensor.UInt8) != g.TotalParams() {
+		t.Fatal("int8 weight bytes wrong")
+	}
+}
+
+func TestSeqOpElems(t *testing.T) {
+	op := &Op{Name: "m", Kind: MatMul, Seq: 128, Hidden: 384, Inner: 1536, MACs: 1}
+	if op.OutElems() != 128*1536 {
+		t.Fatalf("seq out elems = %d", op.OutElems())
+	}
+	if op.InElems() != 128*384 {
+		t.Fatalf("seq in elems = %d", op.InElems())
+	}
+}
+
+func TestFLOPsEstimatesPerKind(t *testing.T) {
+	for _, k := range []OpKind{Sigmoid, Softmax, GELU, LayerNorm, ResizeBilinearOp, LocalResponseNorm, Embedding, Concat} {
+		op := &Op{Name: "x", Kind: k, OutH: 2, OutW: 2, OutC: 2}
+		if op.FLOPs() <= 0 {
+			t.Fatalf("%v FLOPs must be positive", k)
+		}
+	}
+}
+
+func TestValidateMatMulNeedsMACs(t *testing.T) {
+	op := &Op{Name: "m", Kind: MatMul, Seq: 4, Hidden: 4}
+	if err := op.Validate(); err == nil {
+		t.Fatal("matmul without MACs accepted")
+	}
+	op.MACs = 64
+	if err := op.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	neg := &Op{Name: "n", Kind: ReLU, MACs: -1}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative MACs accepted")
+	}
+	unnamed := &Op{Kind: ReLU}
+	if err := unnamed.Validate(); err == nil {
+		t.Fatal("unnamed op accepted")
+	}
+}
+
+func TestFuseActivations(t *testing.T) {
+	b := NewBuilder("f", 28, 28, 16)
+	b.Conv(32, 3, 1).ReLU6().Conv(32, 1, 1).ReLU().FC(10).Softmax()
+	g := b.Graph()
+	fused := FuseActivations(g)
+	// conv+relu6, conv+relu collapse; fc and softmax stay (softmax is
+	// not a fusable activation).
+	if fused.NumOps() != g.NumOps()-2 {
+		t.Fatalf("fused ops = %d, want %d", fused.NumOps(), g.NumOps()-2)
+	}
+	if fused.Ops()[0].Kind != Conv2D || fused.Ops()[0].Name == g.Ops()[0].Name {
+		t.Fatal("first op must be the renamed fused conv")
+	}
+	// Total FLOPs are preserved (activation cost folded, not dropped).
+	if fused.TotalFLOPs() != g.TotalFLOPs() {
+		t.Fatalf("fused FLOPs %d != original %d", fused.TotalFLOPs(), g.TotalFLOPs())
+	}
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original graph is untouched.
+	if g.Ops()[1].Kind != ReLU6 {
+		t.Fatal("fusion mutated the input graph")
+	}
+}
+
+func TestFuseActivationsNoOpWhenNothingToFuse(t *testing.T) {
+	b := NewBuilder("n", 8, 8, 4)
+	b.MaxPool(2, 2).AvgPool(2, 2)
+	g := b.Graph()
+	if FuseActivations(g).NumOps() != g.NumOps() {
+		t.Fatal("pool-only graph must be unchanged")
+	}
+}
+
+func TestFuseActivationsWholeZoo(t *testing.T) {
+	// Property over the zoo: fusion preserves total FLOPs and never
+	// leaves a fusable-activation pair adjacent.
+	for _, name := range []string{"MobileNet 1.0 v1", "EfficientNet-Lite0", "Inception v3"} {
+		g := zooGraph(t, name)
+		fused := FuseActivations(g)
+		if fused.TotalFLOPs() != g.TotalFLOPs() {
+			t.Fatalf("%s: FLOPs changed under fusion", name)
+		}
+		ops := fused.Ops()
+		for i := 0; i+1 < len(ops); i++ {
+			if fusable(ops[i].Kind) && isActivation(ops[i+1].Kind) {
+				t.Fatalf("%s: unfused pair at %d (%v -> %v)", name, i, ops[i].Kind, ops[i+1].Kind)
+			}
+		}
+		if fused.NumOps() >= g.NumOps() {
+			t.Fatalf("%s: fusion removed nothing", name)
+		}
+	}
+}

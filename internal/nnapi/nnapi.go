@@ -1,0 +1,259 @@
+// Package nnapi models Android's Neural Networks API as the paper
+// describes it (§II-C/D): model compilation with greedy partitioning
+// against vendor-driver op-support matrices, execution-preference-driven
+// device assignment, and the CPU fallback path. The package reproduces
+// the framework behaviours the paper measures — partial offload
+// (Inception running half on CPU), and the quantized-model pathology
+// where lagging INT8 driver support shatters a graph and NNAPI retreats
+// to its single-threaded reference CPU implementation (Figs. 5 and 6).
+package nnapi
+
+import (
+	"fmt"
+	"time"
+
+	"aitax/internal/driver"
+	"aitax/internal/nn"
+	"aitax/internal/sim"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+// Preference mirrors NNAPI's execution preferences.
+type Preference int
+
+// Execution preferences; the benchmarks default to FastSingleAnswer as
+// the paper's setup does (§III-B).
+const (
+	FastSingleAnswer Preference = iota
+	SustainedSpeed
+	LowPower
+)
+
+// String names the preference the way the NDK constants read.
+func (p Preference) String() string {
+	switch p {
+	case FastSingleAnswer:
+		return "FAST_SINGLE_ANSWER"
+	case SustainedSpeed:
+		return "SUSTAINED_SPEED"
+	case LowPower:
+		return "LOW_POWER"
+	default:
+		return fmt.Sprintf("PREFERENCE(%d)", int(p))
+	}
+}
+
+// Partition is a contiguous op segment assigned to one target.
+type Partition struct {
+	Target driver.Target
+	Ops    []*nn.Op
+}
+
+// CompiledModel is the result of model compilation: the partition plan
+// plus bookkeeping, computed once per model load (§II-D).
+type CompiledModel struct {
+	Graph      *nn.Graph
+	DType      tensor.DType
+	Preference Preference
+	Partitions []Partition
+	// CompileTime is the one-time compilation/partitioning cost.
+	CompileTime time.Duration
+	// ReferenceFallback marks plans NNAPI abandoned for the reference
+	// CPU path (the Fig. 5 pathology).
+	ReferenceFallback bool
+
+	probed bool // the one-time DSP attempt of a fallback plan happened
+}
+
+// AccelPartitions counts partitions on non-CPU targets.
+func (cm *CompiledModel) AccelPartitions() int {
+	n := 0
+	for _, p := range cm.Partitions {
+		if p.Target.Kind() != soc.CPUBig && p.Target.Kind() != soc.CPULittle {
+			n++
+		}
+	}
+	return n
+}
+
+// OffloadedFraction returns the fraction of FLOPs assigned off-CPU.
+func (cm *CompiledModel) OffloadedFraction() float64 {
+	var total, off int64
+	for _, p := range cm.Partitions {
+		for _, op := range p.Ops {
+			f := op.FLOPs()
+			total += f
+			if p.Target.Kind() != soc.CPUBig && p.Target.Kind() != soc.CPULittle {
+				off += f
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(off) / float64(total)
+}
+
+// Framework is one process's NNAPI runtime instance.
+type Framework struct {
+	eng *sim.Engine
+	// Accel is the vendor driver's accelerator target for each
+	// precision class: DSP for quantized graphs, GPU for fp32.
+	AccelFP32 driver.Target
+	AccelInt8 driver.Target
+	// FallbackCPU runs ops the driver rejects inside a partitioned plan.
+	FallbackCPU driver.Target
+	// ReferenceCPU is the slow single-threaded path whole graphs retreat
+	// to when a quantized plan shatters.
+	ReferenceCPU driver.Target
+	// Supports is the vendor driver's op-support matrix.
+	Supports func(*nn.Op, tensor.DType) bool
+
+	// TransitionOverhead is the tensor-handoff cost at each partition
+	// boundary (buffer copies between runtimes).
+	TransitionOverhead time.Duration
+	// CompilePerOp scales the one-time compilation cost.
+	CompilePerOp time.Duration
+	// MaxQuantPartitions is the shatter threshold beyond which a
+	// quantized plan is abandoned for the reference path.
+	MaxQuantPartitions int
+}
+
+// Config carries the targets for New.
+type Config struct {
+	Engine       *sim.Engine
+	AccelFP32    driver.Target
+	AccelInt8    driver.Target
+	FallbackCPU  driver.Target
+	ReferenceCPU driver.Target
+	Supports     func(*nn.Op, tensor.DType) bool
+}
+
+// New assembles a framework with the defaults used throughout the
+// experiments.
+func New(cfg Config) *Framework {
+	if cfg.Engine == nil || cfg.AccelFP32 == nil || cfg.AccelInt8 == nil || cfg.FallbackCPU == nil || cfg.ReferenceCPU == nil {
+		panic("nnapi: engine and all targets must be provided")
+	}
+	supports := cfg.Supports
+	if supports == nil {
+		supports = driver.NNAPIVendorSupports
+	}
+	return &Framework{
+		eng:                cfg.Engine,
+		AccelFP32:          cfg.AccelFP32,
+		AccelInt8:          cfg.AccelInt8,
+		FallbackCPU:        cfg.FallbackCPU,
+		ReferenceCPU:       cfg.ReferenceCPU,
+		Supports:           supports,
+		TransitionOverhead: 120 * time.Microsecond,
+		CompilePerOp:       180 * time.Microsecond,
+		MaxQuantPartitions: 12,
+	}
+}
+
+// accelFor picks the accelerator the execution preference implies:
+// quantized graphs go to the DSP; fp32 graphs go to the GPU under the
+// throughput preferences and to the DSP (slow but frugal fp16-style
+// path) under LOW_POWER. SUSTAINED_SPEED differs from
+// FAST_SINGLE_ANSWER only in DVFS governor behaviour, which the device
+// models do not resolve, so the two share a device assignment.
+func (f *Framework) accelFor(dt tensor.DType, pref Preference) driver.Target {
+	if dt == tensor.Int8 || dt == tensor.UInt8 {
+		return f.AccelInt8
+	}
+	if pref == LowPower {
+		return f.AccelInt8
+	}
+	return f.AccelFP32
+}
+
+// Compile partitions the graph across the accelerator and the CPU
+// fallback: maximal runs of driver-supported ops go to the accelerator,
+// everything else to the CPU. A quantized plan that shatters past
+// MaxQuantPartitions is abandoned for the reference CPU path.
+func (f *Framework) Compile(g *nn.Graph, dt tensor.DType, pref Preference) *CompiledModel {
+	accel := f.accelFor(dt, pref)
+	cm := &CompiledModel{
+		Graph:       g,
+		DType:       dt,
+		Preference:  pref,
+		CompileTime: time.Duration(g.NumOps()) * f.CompilePerOp,
+	}
+	var cur *Partition
+	for _, op := range g.Ops() {
+		var target driver.Target
+		if f.Supports(op, dt) && accel.Supports(op, dt) {
+			target = accel
+		} else {
+			target = f.FallbackCPU
+		}
+		if cur == nil || cur.Target != target {
+			cm.Partitions = append(cm.Partitions, Partition{Target: target})
+			cur = &cm.Partitions[len(cm.Partitions)-1]
+		}
+		cur.Ops = append(cur.Ops, op)
+	}
+	quant := dt == tensor.Int8 || dt == tensor.UInt8
+	if quant && len(cm.Partitions) > f.MaxQuantPartitions {
+		// The vendor driver rejects the shattered plan; NNAPI retreats
+		// to its reference implementation for the whole graph.
+		cm.ReferenceFallback = true
+		cm.Partitions = []Partition{{Target: f.ReferenceCPU, Ops: g.Ops()}}
+	}
+	return cm
+}
+
+// Report aggregates one NNAPI execution.
+type Report struct {
+	driver.Result
+	// Transitions counts partition boundaries crossed.
+	Transitions int
+	// PerTarget accumulates wall time by target name.
+	PerTarget map[string]time.Duration
+}
+
+// Execute runs a compiled plan: partitions execute in order, each
+// boundary paying the transition overhead. done receives the aggregated
+// report.
+func (f *Framework) Execute(cm *CompiledModel, done func(Report)) {
+	if cm.ReferenceFallback && !cm.probed {
+		// The driver's one-time attempt to bring the graph up on the
+		// DSP before rejecting it — the brief CDSP utilization spike at
+		// the start of the paper's Fig. 6 NNAPI profile.
+		cm.probed = true
+		if gi, ok := f.AccelInt8.(driver.GraphIniter); ok {
+			gi.InitGraph(cm.Graph.Ops(), cm.DType, func(driver.Result) {
+				f.Execute(cm, done)
+			})
+			return
+		}
+	}
+	rep := Report{PerTarget: make(map[string]time.Duration)}
+	var runPart func(i int)
+	runPart = func(i int) {
+		if i >= len(cm.Partitions) {
+			if done != nil {
+				done(rep)
+			}
+			return
+		}
+		p := cm.Partitions[i]
+		exec := func() {
+			p.Target.Execute(p.Ops, cm.DType, func(res driver.Result) {
+				rep.Result = rep.Result.Add(res)
+				rep.PerTarget[p.Target.Name()] += res.Total()
+				runPart(i + 1)
+			})
+		}
+		if i > 0 {
+			rep.Transitions++
+			rep.Overhead += f.TransitionOverhead
+			f.eng.After(f.TransitionOverhead, exec)
+		} else {
+			exec()
+		}
+	}
+	runPart(0)
+}

@@ -1,0 +1,73 @@
+package nnapi
+
+import (
+	"testing"
+
+	"aitax/internal/models"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+func TestLowPowerRoutesFP32ToDSP(t *testing.T) {
+	r := newRig()
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	fast := r.fw.Compile(m.Graph, tensor.Float32, FastSingleAnswer)
+	low := r.fw.Compile(m.Graph, tensor.Float32, LowPower)
+	if fast.Partitions[0].Target.Kind() != soc.GPU {
+		t.Fatalf("FAST fp32 device = %v, want GPU", fast.Partitions[0].Target.Kind())
+	}
+	if low.Partitions[0].Target.Kind() != soc.DSP {
+		t.Fatalf("LOW_POWER fp32 device = %v, want DSP", low.Partitions[0].Target.Kind())
+	}
+}
+
+func TestSustainedMatchesFastAssignment(t *testing.T) {
+	r := newRig()
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	fast := r.fw.Compile(m.Graph, tensor.Float32, FastSingleAnswer)
+	sus := r.fw.Compile(m.Graph, tensor.Float32, SustainedSpeed)
+	if fast.Partitions[0].Target != sus.Partitions[0].Target {
+		t.Fatal("SUSTAINED_SPEED must share FAST's device assignment")
+	}
+}
+
+func TestQuantizedIgnoresPreferenceForDevice(t *testing.T) {
+	r := newRig()
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	for _, pref := range []Preference{FastSingleAnswer, SustainedSpeed, LowPower} {
+		cm := r.fw.Compile(m.Graph, tensor.UInt8, pref)
+		if cm.Partitions[0].Target.Kind() != soc.DSP {
+			t.Fatalf("int8 under %v landed on %v, want DSP", pref, cm.Partitions[0].Target.Kind())
+		}
+	}
+}
+
+func TestLowPowerDrawsLessPower(t *testing.T) {
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	watts := func(pref Preference) float64 {
+		r := newRig()
+		cm := r.fw.Compile(m.Graph, tensor.Float32, pref)
+		var warm Report
+		r.fw.Execute(cm, func(Report) {
+			r.fw.Execute(cm, func(rep Report) { warm = rep })
+		})
+		r.eng.Run()
+		return warm.EnergyJ / warm.Total().Seconds()
+	}
+	fast, low := watts(FastSingleAnswer), watts(LowPower)
+	if low >= fast {
+		t.Fatalf("LOW_POWER draw %.2fW must be below FAST %.2fW", low, fast)
+	}
+}
+
+func TestReportAccumulatesEnergy(t *testing.T) {
+	r := newRig()
+	m, _ := models.ByName("Inception v3")
+	cm := r.fw.Compile(m.Graph, tensor.Float32, FastSingleAnswer)
+	var rep Report
+	r.fw.Execute(cm, func(x Report) { rep = x })
+	r.eng.Run()
+	if rep.EnergyJ <= 0 {
+		t.Fatal("partitioned execution must account energy")
+	}
+}

@@ -1,0 +1,281 @@
+package postproc
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aitax/internal/tensor"
+)
+
+func TestTopK(t *testing.T) {
+	tt := tensor.New(tensor.Float32, tensor.Shape{5})
+	for i, v := range []float32{0.1, 0.7, 0.05, 0.9, 0.15} {
+		tt.F32[i] = v
+	}
+	top := TopK(tt, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].Index != 3 || top[1].Index != 1 || top[2].Index != 4 {
+		t.Fatalf("topK order wrong: %v", top)
+	}
+}
+
+func TestTopKQuantized(t *testing.T) {
+	tt := tensor.NewQuant(tensor.UInt8, tensor.Shape{4}, tensor.QuantParams{Scale: 1.0 / 255})
+	tt.U8 = []uint8{10, 250, 30, 100}
+	top := TopK(tt, 2)
+	if top[0].Index != 1 || top[1].Index != 3 {
+		t.Fatalf("quantized topK wrong: %v", top)
+	}
+	if math.Abs(top[0].Score-250.0/255) > 1e-9 {
+		t.Fatalf("dequantized score = %v", top[0].Score)
+	}
+}
+
+func TestTopKEdges(t *testing.T) {
+	tt := tensor.New(tensor.Float32, tensor.Shape{3})
+	if got := TopK(tt, 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := TopK(tt, 10); len(got) != 3 {
+		t.Fatalf("k>n must clamp: %d", len(got))
+	}
+	// Ties break by index.
+	tie := TopK(tt, 3)
+	if tie[0].Index != 0 || tie[1].Index != 1 {
+		t.Fatalf("tie break wrong: %v", tie)
+	}
+}
+
+func TestTopKIsSortedProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		tt := tensor.New(tensor.Float32, tensor.Shape{len(raw)})
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) {
+				v = 0
+			}
+			tt.F32[i] = v
+		}
+		top := TopK(tt, len(raw))
+		return sort.SliceIsSorted(top, func(a, b int) bool {
+			return top[a].Score > top[b].Score ||
+				(top[a].Score == top[b].Score && top[a].Index < top[b].Index)
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("softmax not monotone: %v", p)
+	}
+	if Softmax(nil) != nil {
+		t.Fatal("empty softmax must be nil")
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	p := Softmax([]float64{1000, 1001})
+	if math.IsNaN(p[0]) || math.IsInf(p[1], 0) {
+		t.Fatal("softmax overflowed")
+	}
+	if math.Abs(p[0]+p[1]-1) > 1e-12 {
+		t.Fatal("large-logit softmax does not sum to 1")
+	}
+}
+
+func TestFlattenMask(t *testing.T) {
+	// 2x2 map with 3 classes.
+	tt := tensor.New(tensor.Float32, tensor.Shape{1, 2, 2, 3})
+	scores := [][]float32{{0.1, 0.8, 0.1}, {0.9, 0.05, 0.05}, {0, 0, 1}, {0.3, 0.4, 0.3}}
+	for p, s := range scores {
+		copy(tt.F32[p*3:], s)
+	}
+	mask := FlattenMask(tt)
+	want := []int{1, 0, 2, 1}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestDecodeKeypoints(t *testing.T) {
+	// 1 keypoint on a 3x3 heatmap; peak at (2,1) with offsets (+3, -2).
+	hm := tensor.New(tensor.Float32, tensor.Shape{1, 3, 3, 1})
+	hm.F32[(2*3+1)*1] = 5
+	off := tensor.New(tensor.Float32, tensor.Shape{1, 3, 3, 2})
+	off.F32[(2*3+1)*2] = 3    // y offset
+	off.F32[(2*3+1)*2+1] = -2 // x offset
+	kps := DecodeKeypoints(hm, off, 16)
+	if len(kps) != 1 {
+		t.Fatalf("keypoints = %d", len(kps))
+	}
+	if kps[0].Y != 2*16+3 || kps[0].X != 1*16-2 {
+		t.Fatalf("keypoint at (%v,%v)", kps[0].X, kps[0].Y)
+	}
+	if kps[0].Score <= 0.5 {
+		t.Fatalf("positive logit must have score > 0.5: %v", kps[0].Score)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Box{YMin: 0, XMin: 0, YMax: 1, XMax: 1}
+	if v := IoU(a, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("self IoU = %v", v)
+	}
+	b := Box{YMin: 0, XMin: 0.5, YMax: 1, XMax: 1.5}
+	if v := IoU(a, b); math.Abs(v-1.0/3) > 1e-12 {
+		t.Fatalf("half-overlap IoU = %v", v)
+	}
+	c := Box{YMin: 5, XMin: 5, YMax: 6, XMax: 6}
+	if IoU(a, c) != 0 {
+		t.Fatal("disjoint IoU must be 0")
+	}
+}
+
+func TestIoUSymmetricProperty(t *testing.T) {
+	f := func(y0, x0, y1, x1, y2, x2, y3, x3 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 10) }
+		a := Box{YMin: norm(y0), XMin: norm(x0), YMax: norm(y0) + norm(y1), XMax: norm(x0) + norm(x1)}
+		b := Box{YMin: norm(y2), XMin: norm(x2), YMax: norm(y2) + norm(y3), XMax: norm(x2) + norm(x3)}
+		u, v := IoU(a, b), IoU(b, a)
+		return math.Abs(u-v) < 1e-12 && u >= 0 && u <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultAnchors(t *testing.T) {
+	anchors := DefaultAnchors(4)
+	if len(anchors) != 4*4*3 {
+		t.Fatalf("anchor count = %d, want 48", len(anchors))
+	}
+	for _, a := range anchors {
+		if a.CX < 0 || a.CX > 1 || a.CY < 0 || a.CY > 1 || a.W <= 0 || a.H <= 0 {
+			t.Fatalf("bad anchor %+v", a)
+		}
+	}
+}
+
+func TestDecodeBoxes(t *testing.T) {
+	anchors := DefaultAnchors(2) // 12 anchors
+	n := len(anchors)
+	locs := tensor.New(tensor.Float32, tensor.Shape{1, n, 4})
+	scores := tensor.New(tensor.Float32, tensor.Shape{1, n, 3})
+	// Anchor 0: class 1 at 0.9; anchor 5: class 2 at 0.4; others background.
+	scores.F32[0*3+1] = 0.9
+	scores.F32[5*3+2] = 0.4
+	boxes := DecodeBoxes(locs, scores, anchors, 0.5)
+	if len(boxes) != 1 {
+		t.Fatalf("boxes = %d, want 1 above threshold", len(boxes))
+	}
+	if boxes[0].Class != 1 || math.Abs(boxes[0].Score-0.9) > 1e-6 {
+		t.Fatalf("box = %+v", boxes[0])
+	}
+	// Zero regression must recover the anchor itself.
+	a := anchors[0]
+	if math.Abs((boxes[0].XMax+boxes[0].XMin)/2-a.CX) > 1e-9 {
+		t.Fatal("zero regression must center on anchor")
+	}
+}
+
+func TestNMS(t *testing.T) {
+	boxes := []Box{
+		{YMin: 0, XMin: 0, YMax: 1, XMax: 1, Class: 1, Score: 0.9},
+		{YMin: 0.05, XMin: 0.05, YMax: 1, XMax: 1, Class: 1, Score: 0.8}, // overlaps first
+		{YMin: 0, XMin: 2, YMax: 1, XMax: 3, Class: 1, Score: 0.7},       // disjoint
+		{YMin: 0.02, XMin: 0.02, YMax: 1, XMax: 1, Class: 2, Score: 0.6}, // other class
+	}
+	kept := NMS(boxes, 0.5, 10)
+	if len(kept) != 3 {
+		t.Fatalf("kept = %d, want 3", len(kept))
+	}
+	if kept[0].Score != 0.9 || kept[1].Score != 0.7 || kept[2].Score != 0.6 {
+		t.Fatalf("kept wrong: %+v", kept)
+	}
+	if got := NMS(boxes, 0.5, 1); len(got) != 1 {
+		t.Fatalf("maxOut ignored: %d", len(got))
+	}
+}
+
+func TestWorkEstimatorsPositive(t *testing.T) {
+	checks := []struct {
+		name string
+		ops  int64
+	}{
+		{"topk", TopKWork(1000, 5).Ops},
+		{"dequant", DequantizeWork(1000).Ops},
+		{"softmax", SoftmaxWork(2).Ops},
+		{"mask", FlattenMaskWork(513, 513, 21).Ops},
+		{"keypoint", KeypointWork(9, 9, 17).Ops},
+		{"detect", DetectionWork(1917, 91).Ops},
+	}
+	for _, c := range checks {
+		if c.ops <= 0 {
+			t.Errorf("%s work must be positive", c.name)
+		}
+	}
+}
+
+func TestDequantize(t *testing.T) {
+	q := tensor.NewQuant(tensor.UInt8, tensor.Shape{2}, tensor.QuantParams{Scale: 0.5, ZeroPoint: 10})
+	q.U8 = []uint8{10, 20}
+	f := Dequantize(q)
+	if f.F32[0] != 0 || f.F32[1] != 5 {
+		t.Fatalf("dequantize = %v", f.F32)
+	}
+}
+
+func TestNMSInvariantProperty(t *testing.T) {
+	// Property: after NMS, no two kept same-class boxes overlap past the
+	// threshold, and scores are non-increasing.
+	f := func(raw []float64) bool {
+		var boxes []Box
+		for i := 0; i+4 < len(raw); i += 5 {
+			norm := func(v float64) float64 {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return 0.5
+				}
+				return math.Mod(math.Abs(v), 1)
+			}
+			b := Box{
+				YMin: norm(raw[i]), XMin: norm(raw[i+1]),
+				Class: 1 + int(norm(raw[i+4])*3), Score: norm(raw[i+2]),
+			}
+			b.YMax = b.YMin + 0.1 + norm(raw[i+3])*0.4
+			b.XMax = b.XMin + 0.1 + norm(raw[i])*0.4
+			boxes = append(boxes, b)
+		}
+		const thresh = 0.45
+		kept := NMS(boxes, thresh, 0)
+		for i := range kept {
+			if i > 0 && kept[i].Score > kept[i-1].Score {
+				return false
+			}
+			for j := 0; j < i; j++ {
+				if kept[i].Class == kept[j].Class && IoU(kept[i], kept[j]) > thresh {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

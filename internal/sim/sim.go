@@ -1,0 +1,374 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All hardware and OS behaviour in this repository (CPU scheduling, DSP
+// offload, memory traffic, thermal state) is expressed as events on a
+// virtual clock so that every experiment regenerates byte-identically.
+// Time is measured in nanoseconds of virtual time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = time.Duration
+
+// Nanoseconds returns t as a plain int64 nanosecond count.
+func (t Time) Nanoseconds() int64 { return int64(t) }
+
+// Duration returns the span from simulation start to t.
+func (t Time) Duration() Duration { return Duration(t) }
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String renders the time as a duration from simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	at   Time
+	seq  uint64 // tiebreaker: FIFO among simultaneous events
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it may be cancelled.
+type EventID struct{ ev *event }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// simulated concurrency is expressed through events, not goroutines.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	// Limit guards against runaway simulations; zero means no limit.
+	Limit Time
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a modelling bug.
+func (e *Engine) Schedule(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After runs fn d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Step fires the next pending event. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or the Limit is reached.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+		if e.Limit > 0 && e.now > e.Limit {
+			panic(fmt.Sprintf("sim: exceeded time limit %v", e.Limit))
+		}
+	}
+	return e.now
+}
+
+// RunUntil fires events up to and including time t, leaving later events
+// pending. The clock is advanced to t even if no event lands exactly there.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Resource is a capacity-limited server with FIFO queueing: the building
+// block for modelling a DSP, a memory port, or any other contended unit.
+// Acquire requests enter service in request order; each holds one slot for
+// its stated service duration.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// Accounting.
+	busyTime    Duration // total slot-seconds of service completed
+	lastChange  Time
+	utilAccum   float64 // integral of (inUse/capacity) dt
+	served      int
+	queuedPeak  int
+	totalQueued Duration // integral of queue length dt
+}
+
+type resWaiter struct {
+	hold  Duration
+	ready func(start, end Time)
+}
+
+// NewResource creates a resource with the given parallel capacity.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity, lastChange: eng.Now()}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource's parallel capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of occupied slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	dt := float64(now.Sub(r.lastChange))
+	r.utilAccum += dt * float64(r.inUse) / float64(r.capacity)
+	r.totalQueued += Duration(dt * float64(len(r.waiters)))
+	r.lastChange = now
+}
+
+// Acquire requests hold time on the resource. ready is invoked when the
+// request completes service, with the virtual times service started and
+// ended. Requests are served FIFO.
+func (r *Resource) Acquire(hold Duration, ready func(start, end Time)) {
+	if hold < 0 {
+		panic("sim: negative hold")
+	}
+	r.account()
+	w := &resWaiter{hold: hold, ready: ready}
+	r.waiters = append(r.waiters, w)
+	if len(r.waiters) > r.queuedPeak {
+		r.queuedPeak = len(r.waiters)
+	}
+	r.pump()
+}
+
+func (r *Resource) pump() {
+	for r.inUse < r.capacity && len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++
+		start := r.eng.Now()
+		end := start.Add(w.hold)
+		r.eng.Schedule(end, func() {
+			r.account()
+			r.inUse--
+			r.busyTime += w.hold
+			r.served++
+			if w.ready != nil {
+				w.ready(start, end)
+			}
+			r.pump()
+		})
+	}
+}
+
+// Utilization returns the time-averaged fraction of capacity in use from
+// simulation start to now.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	total := float64(r.eng.Now())
+	if total == 0 {
+		return 0
+	}
+	return r.utilAccum / total
+}
+
+// Served returns the number of completed requests.
+func (r *Resource) Served() int { return r.served }
+
+// BusyTime returns the cumulative service time delivered.
+func (r *Resource) BusyTime() Duration { return r.busyTime }
+
+// QueuePeak returns the maximum observed queue length.
+func (r *Resource) QueuePeak() int { return r.queuedPeak }
+
+// MeanQueueLen returns the time-averaged queue length.
+func (r *Resource) MeanQueueLen() float64 {
+	r.account()
+	total := float64(r.eng.Now())
+	if total == 0 {
+		return 0
+	}
+	return float64(r.totalQueued) / total
+}
+
+// RNG is a small deterministic PRNG (xorshift64*) used for all simulated
+// stochastic behaviour. math/rand would also do, but a local implementation
+// pins the sequence across Go releases.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (zero is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNorm returns a log-normally distributed value whose underlying normal
+// has the given mu and sigma.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Jitter returns d scaled by a factor drawn from N(1, cv) truncated at
+// ±3cv and floored at 5% of d, modelling run-to-run variability with
+// coefficient of variation cv.
+func (r *RNG) Jitter(d Duration, cv float64) Duration {
+	if cv <= 0 || d <= 0 {
+		return d
+	}
+	f := r.Norm(1, cv)
+	lo, hi := 1-3*cv, 1+3*cv
+	if f < lo {
+		f = lo
+	}
+	if f > hi {
+		f = hi
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return Duration(float64(d) * f)
+}

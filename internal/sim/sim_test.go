@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongSimultaneous(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() {
+		fired++
+		e.After(5, func() { fired++ })
+	})
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock = %v, want 15ns", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(10, func() { fired = true })
+	e.Cancel(id)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25ns", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events after Run, want 4", len(fired))
+	}
+}
+
+func TestResourceSerializesBeyondCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "dsp", 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Acquire(100*time.Nanosecond, func(start, end Time) { ends = append(ends, end) })
+	}
+	e.Run()
+	want := []Time{100, 200, 300}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served = %d, want 3", r.Served())
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 4)
+	done := 0
+	for i := 0; i < 4; i++ {
+		r.Acquire(50*time.Nanosecond, func(start, end Time) {
+			done++
+			if end != 50 {
+				t.Errorf("end = %v, want 50ns", end)
+			}
+		})
+	}
+	e.Run()
+	if done != 4 {
+		t.Fatalf("done = %d, want 4", done)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "u", 1)
+	r.Acquire(100*time.Nanosecond, nil)
+	e.Run()
+	// Busy 100ns of a 100ns sim: utilization 1.0.
+	if u := r.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v, want ~1", u)
+	}
+	if r.BusyTime() != 100*time.Nanosecond {
+		t.Fatalf("busy = %v, want 100ns", r.BusyTime())
+	}
+}
+
+func TestResourceQueueStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "q", 1)
+	for i := 0; i < 5; i++ {
+		r.Acquire(10*time.Nanosecond, nil)
+	}
+	if r.QueueLen() != 4 {
+		t.Fatalf("queue = %d, want 4", r.QueueLen())
+	}
+	e.Run()
+	if r.QueuePeak() != 4 {
+		t.Fatalf("queue peak = %d, want 4", r.QueuePeak())
+	}
+	if r.QueueLen() != 0 {
+		t.Fatalf("queue after run = %d, want 0", r.QueueLen())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a2 := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds coincided %d/1000 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("mean = %v, want ~10", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(5)
+	d := 1000 * time.Nanosecond
+	for i := 0; i < 10000; i++ {
+		j := r.Jitter(d, 0.1)
+		if j < 700 || j > 1300 {
+			t.Fatalf("jitter %v outside ±3cv", j)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("zero cv must be identity")
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(13)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("bucket %d count %d not ~10000", i, c)
+		}
+	}
+}
+
+func TestPropertyResourceConservation(t *testing.T) {
+	// Property: for any batch of jobs on a capacity-1 resource, total busy
+	// time equals the sum of holds and the finish time equals that sum.
+	f := func(holds []uint16) bool {
+		e := NewEngine()
+		r := NewResource(e, "p", 1)
+		var total Duration
+		for _, h := range holds {
+			d := Duration(h) * time.Nanosecond
+			total += d
+			r.Acquire(d, nil)
+		}
+		end := e.Run()
+		return r.BusyTime() == total && end == Time(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEngineMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.After(Duration(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGLogNorm(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		if r.LogNorm(0, 0.5) <= 0 {
+			t.Fatal("lognormal values must be positive")
+		}
+	}
+}
+
+func TestRNGExp(t *testing.T) {
+	r := NewRNG(19)
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatal("exponential must be non-negative")
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if mean < 4.8 || mean > 5.2 {
+		t.Fatalf("exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestEngineLimit(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 100
+	var tick func()
+	tick = func() { e.After(10, tick) }
+	tick()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway simulation must hit the limit")
+		}
+	}()
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestResourceMeanQueueLen(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "q", 1)
+	for i := 0; i < 3; i++ {
+		r.Acquire(10*time.Nanosecond, nil)
+	}
+	e.Run()
+	if r.MeanQueueLen() <= 0 {
+		t.Fatal("queued work must register a mean queue length")
+	}
+	if r.Name() != "q" || r.Capacity() != 1 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestCancelledEventsSkippedInRunUntil(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(5, func() { t := 0; _ = t })
+	e.Cancel(id)
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	e.RunUntil(20)
+	if !fired {
+		t.Fatal("live event after cancelled one did not fire")
+	}
+}
+
+func TestTimeAccessors(t *testing.T) {
+	tm := Time(1500)
+	if tm.Nanoseconds() != 1500 {
+		t.Fatal("Nanoseconds wrong")
+	}
+	if tm.Duration() != 1500*time.Nanosecond {
+		t.Fatal("Duration wrong")
+	}
+	if tm.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestResourceInUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 2)
+	r.Acquire(10, nil)
+	if r.InUse() != 1 {
+		t.Fatalf("in use = %d", r.InUse())
+	}
+	e.Run()
+	if r.InUse() != 0 {
+		t.Fatal("slot not released")
+	}
+}
+
+func TestNewResourceRejectsZeroCapacity(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewResource(e, "bad", 0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	a, b := NewRNG(0), NewRNG(0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("zero seed must be deterministic")
+	}
+}

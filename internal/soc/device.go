@@ -1,0 +1,101 @@
+// Package soc models the hardware of the Snapdragon-class mobile
+// platforms in the paper's Table II: big.LITTLE CPU clusters, an
+// Adreno-class GPU, and a Hexagon-class DSP with HVX vector units, joined
+// by a DDR memory fabric. Devices turn device-independent work.Work into
+// virtual time with a simple roofline (compute-bound vs memory-bound)
+// plus per-dispatch overheads; the absolute numbers are calibrated so
+// published latency magnitudes and, more importantly, the paper's ratios
+// and crossovers are reproduced.
+package soc
+
+import (
+	"fmt"
+	"time"
+
+	"aitax/internal/tensor"
+	"aitax/internal/work"
+)
+
+// Kind identifies a compute device class.
+type Kind int
+
+// Device classes present on the studied SoCs.
+const (
+	CPUBig Kind = iota
+	CPULittle
+	GPU
+	DSP
+)
+
+// String names the device class.
+func (k Kind) String() string {
+	switch k {
+	case CPUBig:
+		return "cpu-big"
+	case CPULittle:
+		return "cpu-little"
+	case GPU:
+		return "gpu"
+	case DSP:
+		return "dsp"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Device is one compute unit with effective (achievable, not peak)
+// throughput figures.
+type Device struct {
+	Name string
+	Kind Kind
+
+	// Effective throughputs in operations per second.
+	FP32OpsPerSec   float64 // vectorizable fp32 work
+	Int8OpsPerSec   float64 // vectorizable int8 work
+	ScalarOpsPerSec float64 // non-vectorizable work
+
+	// MemBytesPerSec is the achievable memory bandwidth from this device.
+	MemBytesPerSec float64
+
+	// ActivePowerW is the unit's active power draw, used for the
+	// energy accounting behind NNAPI's LOW_POWER preference.
+	ActivePowerW float64
+}
+
+// EnergyFor returns the energy (joules) of executing w at precision dt.
+func (d *Device) EnergyFor(w work.Work, dt tensor.DType) float64 {
+	return d.ActivePowerW * d.TimeFor(w, dt).Seconds()
+}
+
+// TimeFor converts a unit of work at element precision dt into execution
+// time on this device: the maximum of its compute time and memory time.
+func (d *Device) TimeFor(w work.Work, dt tensor.DType) time.Duration {
+	rate := d.ScalarOpsPerSec
+	if w.Vectorizable {
+		if dt == tensor.Int8 || dt == tensor.UInt8 {
+			rate = d.Int8OpsPerSec
+		} else {
+			rate = d.FP32OpsPerSec
+		}
+	}
+	if rate <= 0 || d.MemBytesPerSec <= 0 {
+		panic(fmt.Sprintf("soc: device %s has unset throughput", d.Name))
+	}
+	tc := float64(w.Ops) / rate
+	tm := float64(w.Bytes) / d.MemBytesPerSec
+	t := tc
+	if tm > t {
+		t = tm
+	}
+	return time.Duration(t * float64(time.Second))
+}
+
+// Speedup returns how much faster this device executes w than other.
+func (d *Device) Speedup(other *Device, w work.Work, dt tensor.DType) float64 {
+	a := d.TimeFor(w, dt)
+	b := other.TimeFor(w, dt)
+	if a == 0 {
+		return 0
+	}
+	return float64(b) / float64(a)
+}

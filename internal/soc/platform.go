@@ -1,0 +1,161 @@
+package soc
+
+import (
+	"fmt"
+	"time"
+)
+
+// RPCParams are the FastRPC offload-transport costs of a platform
+// (paper Fig. 7): session setup happens once per process, each call pays
+// two kernel crossings plus cache maintenance proportional to the buffer.
+type RPCParams struct {
+	// SessionSetup maps the DSP into the application process (once).
+	SessionSetup time.Duration
+	// KernelCrossing is one user→kernel→driver traversal; a call makes
+	// two round trips (submit and completion signal).
+	KernelCrossing time.Duration
+	// CacheFlushPerKB maintains coherency for shared buffers.
+	CacheFlushPerKB time.Duration
+	// DSPWakeup is the co-processor's dispatch latency per invocation.
+	DSPWakeup time.Duration
+}
+
+// CallOverhead is the per-call (post-setup) transport cost for a payload
+// of the given size.
+func (p RPCParams) CallOverhead(payloadBytes int64) time.Duration {
+	kb := (payloadBytes + 1023) / 1024
+	return 4*p.KernelCrossing + time.Duration(kb)*p.CacheFlushPerKB + p.DSPWakeup
+}
+
+// SoC describes one Table-II platform.
+type SoC struct {
+	Name    string // product name, e.g. "Google Pixel 3"
+	Chipset string // e.g. "Snapdragon 845"
+	GPUName string // e.g. "Adreno 630"
+	DSPName string // e.g. "Hexagon 685"
+
+	BigCores    int
+	LittleCores int
+	Big         Device
+	Little      Device
+	GPU         Device
+	DSP         Device
+
+	RPC RPCParams
+
+	// IdleTempC is the idle CPU temperature the paper cools to (§III-D).
+	IdleTempC float64
+}
+
+// Devices returns the SoC's devices for iteration.
+func (s *SoC) Devices() []*Device {
+	return []*Device{&s.Big, &s.Little, &s.GPU, &s.DSP}
+}
+
+// Validate sanity-checks the platform description.
+func (s *SoC) Validate() error {
+	if s.BigCores <= 0 || s.LittleCores < 0 {
+		return fmt.Errorf("soc: %s has invalid core counts", s.Name)
+	}
+	for _, d := range s.Devices() {
+		if d.FP32OpsPerSec <= 0 || d.Int8OpsPerSec <= 0 || d.ScalarOpsPerSec <= 0 || d.MemBytesPerSec <= 0 {
+			return fmt.Errorf("soc: %s device %s has unset throughput", s.Name, d.Name)
+		}
+	}
+	if s.RPC.SessionSetup <= 0 || s.RPC.KernelCrossing <= 0 {
+		return fmt.Errorf("soc: %s has unset RPC params", s.Name)
+	}
+	return nil
+}
+
+// snapdragon builds one platform generation. gen scales device
+// throughput across the SD835→SD865 range (~18% per generation, matching
+// the flagship cadence).
+func snapdragon(name, chipset, gpu, dsp string, bigGHz, littleGHz, gen float64) *SoC {
+	g := gen // generation multiplier, 1.0 = SD835
+	const G = 1e9
+	s := &SoC{
+		Name: name, Chipset: chipset, GPUName: gpu, DSPName: dsp,
+		BigCores: 4, LittleCores: 4,
+		Big: Device{
+			Name: "kryo-big", Kind: CPUBig,
+			// NEON FMA at ~45% achieved efficiency, SDOT-class int8.
+			FP32OpsPerSec:   bigGHz * 7 * G * g,
+			Int8OpsPerSec:   bigGHz * 12 * G * g,
+			ScalarOpsPerSec: bigGHz * 1.2 * G * g,
+			MemBytesPerSec:  9 * G * g,
+			ActivePowerW:    2.0,
+		},
+		Little: Device{
+			Name: "kryo-little", Kind: CPULittle,
+			FP32OpsPerSec:   littleGHz * 3.5 * G * g,
+			Int8OpsPerSec:   littleGHz * 6 * G * g,
+			ScalarOpsPerSec: littleGHz * 0.8 * G * g,
+			MemBytesPerSec:  5 * G * g,
+			ActivePowerW:    0.45,
+		},
+		GPU: Device{
+			Name: "adreno", Kind: GPU,
+			FP32OpsPerSec:   90 * G * g,
+			Int8OpsPerSec:   120 * G * g,
+			ScalarOpsPerSec: 4 * G * g,
+			MemBytesPerSec:  18 * G * g,
+			ActivePowerW:    3.6,
+		},
+		DSP: Device{
+			Name: "hexagon", Kind: DSP,
+			// HVX: enormous int8 throughput, weak fp32 and scalar paths.
+			FP32OpsPerSec:   8 * G * g,
+			Int8OpsPerSec:   450 * G * g,
+			ScalarOpsPerSec: 1.5 * G * g,
+			MemBytesPerSec:  14 * G * g,
+			ActivePowerW:    1.1,
+		},
+		RPC: RPCParams{
+			SessionSetup:    time.Duration(float64(85*time.Millisecond) / g),
+			KernelCrossing:  time.Duration(float64(28*time.Microsecond) / g),
+			CacheFlushPerKB: time.Duration(float64(220*time.Nanosecond) / g),
+			DSPWakeup:       time.Duration(float64(95*time.Microsecond) / g),
+		},
+		IdleTempC: 33,
+	}
+	return s
+}
+
+// Table-II platform constructors.
+
+// OpenQ835 returns the Open-Q 835 µSOM (Snapdragon 835).
+func OpenQ835() *SoC {
+	return snapdragon("Open-Q 835 uSOM", "Snapdragon 835", "Adreno 540", "Hexagon 682", 2.45, 1.90, 1.00)
+}
+
+// Pixel3 returns the Google Pixel 3 (Snapdragon 845) — the platform the
+// paper reports results on.
+func Pixel3() *SoC {
+	return snapdragon("Google Pixel 3", "Snapdragon 845", "Adreno 630", "Hexagon 685", 2.80, 1.77, 1.18)
+}
+
+// SD855HDK returns the Snapdragon 855 HDK.
+func SD855HDK() *SoC {
+	return snapdragon("Snapdragon 855 HDK", "Snapdragon 855", "Adreno 640", "Hexagon 690", 2.84, 1.80, 1.39)
+}
+
+// SD865HDK returns the Snapdragon 865 HDK.
+func SD865HDK() *SoC {
+	return snapdragon("Snapdragon 865 HDK", "Snapdragon 865", "Adreno 650", "Hexagon 698", 2.84, 1.80, 1.64)
+}
+
+// Platforms returns all Table-II platforms in row order.
+func Platforms() []*SoC {
+	return []*SoC{OpenQ835(), Pixel3(), SD855HDK(), SD865HDK()}
+}
+
+// PlatformByName finds a platform by product or chipset name.
+func PlatformByName(name string) (*SoC, error) {
+	for _, p := range Platforms() {
+		if p.Name == name || p.Chipset == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("soc: unknown platform %q", name)
+}

@@ -1,0 +1,210 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int
+	}{
+		{Shape{}, 1},
+		{Shape{5}, 5},
+		{Shape{1, 224, 224, 3}, 150528},
+		{Shape{2, 0, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := c.s.Elems(); got != c.want {
+			t.Errorf("%v.Elems() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeEqualClone(t *testing.T) {
+	a := Shape{1, 2, 3}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 9
+	if a[0] == 9 {
+		t.Fatal("clone aliased original")
+	}
+	if a.Equal(Shape{1, 2}) || a.Equal(Shape{1, 2, 4}) {
+		t.Fatal("unequal shapes reported equal")
+	}
+}
+
+func TestDTypeSize(t *testing.T) {
+	if Float32.Size() != 4 || Int8.Size() != 1 || UInt8.Size() != 1 || Int32.Size() != 4 {
+		t.Fatal("dtype sizes wrong")
+	}
+	for _, d := range []DType{Float32, Int8, UInt8, Int32} {
+		if d.String() == "" {
+			t.Fatal("dtype name empty")
+		}
+	}
+}
+
+func TestQuantRoundTrip(t *testing.T) {
+	q := QuantParams{Scale: 0.5, ZeroPoint: 10}
+	for _, x := range []float64{-3, -0.5, 0, 0.5, 7} {
+		v := q.Quantize(x, Int8)
+		back := q.Dequantize(v)
+		if math.Abs(back-x) > q.Scale/2+1e-12 {
+			t.Errorf("round trip %v -> %d -> %v exceeds half scale", x, v, back)
+		}
+	}
+}
+
+func TestQuantSaturates(t *testing.T) {
+	q := QuantParams{Scale: 1, ZeroPoint: 0}
+	if v := q.Quantize(1000, Int8); v != 127 {
+		t.Fatalf("int8 saturation = %d, want 127", v)
+	}
+	if v := q.Quantize(-1000, Int8); v != -128 {
+		t.Fatalf("int8 saturation = %d, want -128", v)
+	}
+	if v := q.Quantize(-5, UInt8); v != 0 {
+		t.Fatalf("uint8 saturation = %d, want 0", v)
+	}
+	if v := q.Quantize(300, UInt8); v != 255 {
+		t.Fatalf("uint8 saturation = %d, want 255", v)
+	}
+}
+
+func TestZeroScaleQuantize(t *testing.T) {
+	q := QuantParams{Scale: 0, ZeroPoint: 3}
+	if v := q.Quantize(12, UInt8); v != 3 {
+		t.Fatalf("zero-scale quantize = %d, want zero point", v)
+	}
+}
+
+func TestChooseQuantParamsRepresentsZero(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		for _, d := range []DType{Int8, UInt8} {
+			q := ChooseQuantParams(lo, hi, d)
+			if q.Scale <= 0 {
+				return false
+			}
+			// Zero must be exactly representable.
+			if q.Dequantize(q.ZeroPoint) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorSetAt(t *testing.T) {
+	tt := New(Float32, Shape{2, 2})
+	tt.Set(3, 1.5)
+	if tt.At(3) != 1.5 {
+		t.Fatalf("At = %v, want 1.5", tt.At(3))
+	}
+	if tt.Bytes() != 16 {
+		t.Fatalf("bytes = %d, want 16", tt.Bytes())
+	}
+}
+
+func TestQuantizedTensorSetAt(t *testing.T) {
+	q := QuantParams{Scale: 0.1, ZeroPoint: 0}
+	tt := NewQuant(Int8, Shape{4}, q)
+	tt.Set(0, 1.23)
+	if math.Abs(tt.At(0)-1.2) > 0.051 {
+		t.Fatalf("quantized At = %v, want ~1.2", tt.At(0))
+	}
+	if tt.RawAt(0) != 12 {
+		t.Fatalf("raw = %v, want 12", tt.RawAt(0))
+	}
+}
+
+func TestFill(t *testing.T) {
+	tt := New(Float32, Shape{10})
+	tt.Fill(2.5)
+	for i := 0; i < 10; i++ {
+		if tt.At(i) != 2.5 {
+			t.Fatalf("fill failed at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tt := New(Float32, Shape{3})
+	tt.Fill(1)
+	c := tt.Clone()
+	c.Set(0, 9)
+	if tt.At(0) != 1 {
+		t.Fatal("clone aliased storage")
+	}
+	for _, d := range []DType{Int8, UInt8, Int32} {
+		x := New(d, Shape{2})
+		x.Quant = QuantParams{Scale: 1}
+		x.Set(0, 1)
+		y := x.Clone()
+		y.Set(0, 2)
+		if x.At(0) == y.At(0) {
+			t.Fatalf("clone aliased %v storage", d)
+		}
+	}
+}
+
+func TestQuantizeDequantizeTensor(t *testing.T) {
+	tt := New(Float32, Shape{100})
+	for i := 0; i < 100; i++ {
+		tt.F32[i] = float32(i)/10 - 5 // [-5, 4.9]
+	}
+	for _, d := range []DType{Int8, UInt8} {
+		qt := QuantizeTensor(tt, d)
+		if qt.DType != d || !qt.Shape.Equal(tt.Shape) {
+			t.Fatalf("quantized tensor has wrong type/shape")
+		}
+		back := DequantizeTensor(qt)
+		for i := 0; i < 100; i++ {
+			if math.Abs(float64(back.F32[i])-float64(tt.F32[i])) > qt.Quant.Scale {
+				t.Fatalf("%v round trip error at %d: %v vs %v", d, i, back.F32[i], tt.F32[i])
+			}
+		}
+	}
+}
+
+func TestQuantizeTensorProperty(t *testing.T) {
+	// Property: quantize→dequantize error is bounded by one scale step.
+	f := func(raw []float32) bool {
+		tt := New(Float32, Shape{len(raw)})
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 1e5 {
+				v = 0
+			}
+			tt.F32[i] = v
+		}
+		qt := QuantizeTensor(tt, Int8)
+		for i := range tt.F32 {
+			if math.Abs(qt.At(i)-float64(tt.F32[i])) > qt.Quant.Scale+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorString(t *testing.T) {
+	tt := New(Int8, Shape{1, 2})
+	tt.Name = "x"
+	if tt.String() == "" {
+		t.Fatal("empty string")
+	}
+}

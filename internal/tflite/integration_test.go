@@ -1,0 +1,164 @@
+package tflite
+
+import (
+	"testing"
+	"time"
+
+	"aitax/internal/models"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+// TestEveryTableICombinationExecutes sweeps the full support matrix:
+// every model × precision × delegate combination Table I marks "Y" must
+// initialize, invoke and produce a positive, deterministic latency on
+// every Table-II platform's flagship (we use the Pixel 3; the platform
+// sweep experiment covers the others).
+func TestEveryTableICombinationExecutes(t *testing.T) {
+	type combo struct {
+		delegate Delegate
+		nnapiCol bool
+	}
+	combos := []combo{
+		{DelegateCPU, false},
+		{DelegateNNAPI, true},
+	}
+	for _, m := range models.All() {
+		for _, dt := range []tensor.DType{tensor.Float32, tensor.UInt8} {
+			for _, c := range combos {
+				if !m.Support.Supports(c.nnapiCol, dt) {
+					continue
+				}
+				name := m.Name + "/" + dt.String() + "/" + c.delegate.String()
+				t.Run(name, func(t *testing.T) {
+					rt := NewStack(soc.Pixel3(), 42)
+					ip, err := rt.NewInterpreter(m, dt, Options{Delegate: c.delegate})
+					if err != nil {
+						t.Fatalf("Table I says Y but interpreter rejected: %v", err)
+					}
+					var rep Report
+					ip.Init(func() {
+						ip.Invoke(func(Report) { // warm
+							ip.Invoke(func(r Report) { rep = r })
+						})
+					})
+					rt.Eng.Run()
+					if rep.Total() <= 0 {
+						t.Fatal("no latency measured")
+					}
+					if rep.Total() > 5*time.Second {
+						t.Fatalf("implausible latency %v", rep.Total())
+					}
+					if rep.EnergyJ <= 0 {
+						t.Fatal("no energy accounted")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHexagonCombinations covers the open Hexagon delegate over every
+// quantizable model.
+func TestHexagonCombinations(t *testing.T) {
+	for _, m := range models.All() {
+		if !m.Quantizable() {
+			continue
+		}
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			rt := NewStack(soc.Pixel3(), 7)
+			ip, err := rt.NewInterpreter(m, tensor.UInt8, Options{Delegate: DelegateHexagon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := false
+			ip.Init(func() { ip.Invoke(func(Report) { done = true }) })
+			rt.Eng.Run()
+			if !done {
+				t.Fatal("invoke incomplete")
+			}
+		})
+	}
+}
+
+// TestGPUDelegateCombinations covers the GPU delegate over fp32 models.
+func TestGPUDelegateCombinations(t *testing.T) {
+	for _, m := range models.All() {
+		if !m.Support.CPUFP32 {
+			continue
+		}
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			rt := NewStack(soc.Pixel3(), 7)
+			ip, err := rt.NewInterpreter(m, tensor.Float32, Options{Delegate: DelegateGPU})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := false
+			ip.Init(func() { ip.Invoke(func(Report) { done = true }) })
+			rt.Eng.Run()
+			if !done {
+				t.Fatal("invoke incomplete")
+			}
+		})
+	}
+}
+
+// TestEnergyAccounting pins the energy model's basic physics: more
+// compute → more joules; the DSP is more efficient than the CPU for
+// quantized inference.
+func TestEnergyAccounting(t *testing.T) {
+	energy := func(model string, d Delegate, dt tensor.DType) float64 {
+		m, _ := models.ByName(model)
+		rt := NewStack(soc.Pixel3(), 3)
+		ip, err := rt.NewInterpreter(m, dt, Options{Delegate: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		ip.Init(func() {
+			ip.Invoke(func(Report) {
+				ip.Invoke(func(r Report) { rep = r })
+			})
+		})
+		rt.Eng.Run()
+		return rep.EnergyJ
+	}
+	small := energy("MobileNet 1.0 v1", DelegateCPU, tensor.Float32)
+	big := energy("Inception v3", DelegateCPU, tensor.Float32)
+	if big <= small {
+		t.Fatalf("Inception energy (%v) must exceed MobileNet (%v)", big, small)
+	}
+	cpuQ := energy("MobileNet 1.0 v1", DelegateCPU, tensor.UInt8)
+	dspQ := energy("MobileNet 1.0 v1", DelegateHexagon, tensor.UInt8)
+	if dspQ >= cpuQ {
+		t.Fatalf("DSP int8 energy (%v) must beat CPU (%v)", dspQ, cpuQ)
+	}
+}
+
+// TestPlatformGenerationsEndToEnd verifies the interpreter path speeds
+// up monotonically across the Table-II generations.
+func TestPlatformGenerationsEndToEnd(t *testing.T) {
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	var prev time.Duration
+	for _, p := range soc.Platforms() {
+		rt := NewStack(p, 42)
+		ip, err := rt.NewInterpreter(m, tensor.Float32, Options{Delegate: DelegateCPU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lat time.Duration
+		ip.Init(func() {
+			ip.Invoke(func(Report) {
+				start := rt.Eng.Now()
+				ip.Invoke(func(Report) { lat = rt.Eng.Now().Sub(start) })
+			})
+		})
+		rt.Eng.Run()
+		if prev != 0 && lat >= prev {
+			t.Fatalf("%s (%v) not faster than previous generation (%v)", p.Name, lat, prev)
+		}
+		prev = lat
+	}
+}

@@ -1,0 +1,390 @@
+// Package tflite models the TFLite-style inference runtime the paper's
+// benchmarks are built on: an interpreter that executes a model graph on
+// the CPU or partially on a delegate (GPU, Hexagon, or NNAPI), a one-time
+// initialization step (model load + delegate compilation), and the
+// random-input generation quirk of the command-line benchmark utility
+// (§IV-A's libc++ vs libstdc++ anecdote).
+package tflite
+
+import (
+	"fmt"
+	"time"
+
+	"aitax/internal/driver"
+	"aitax/internal/fastrpc"
+	"aitax/internal/models"
+	"aitax/internal/nn"
+	"aitax/internal/nnapi"
+	"aitax/internal/sched"
+	"aitax/internal/sim"
+	"aitax/internal/snpe"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+	"aitax/internal/work"
+)
+
+// Delegate selects the interpreter's execution path.
+type Delegate int
+
+// Available delegates, matching the paper's §III-B configurations.
+const (
+	DelegateCPU Delegate = iota
+	DelegateGPU
+	DelegateHexagon
+	DelegateNNAPI
+)
+
+// String names the delegate.
+func (d Delegate) String() string {
+	switch d {
+	case DelegateCPU:
+		return "cpu"
+	case DelegateGPU:
+		return "gpu-delegate"
+	case DelegateHexagon:
+		return "hexagon-delegate"
+	case DelegateNNAPI:
+		return "nnapi"
+	default:
+		return fmt.Sprintf("delegate(%d)", int(d))
+	}
+}
+
+// Runtime bundles one simulated process's execution plumbing: the
+// engine, the OS scheduler, the platform, and the shared accelerator
+// resources (one DSP, one GPU queue per SoC).
+type Runtime struct {
+	Eng      *sim.Engine
+	Sch      *sched.Scheduler
+	Platform *soc.SoC
+	DSP      *sim.Resource
+	GPUQueue *sim.Resource
+	RNG      *sim.RNG
+}
+
+// NewRuntime creates a runtime on a fresh platform.
+func NewRuntime(eng *sim.Engine, sch *sched.Scheduler, platform *soc.SoC, seed uint64) *Runtime {
+	return &Runtime{
+		Eng:      eng,
+		Sch:      sch,
+		Platform: platform,
+		DSP:      sim.NewResource(eng, "dsp", 1),
+		GPUQueue: sim.NewResource(eng, "gpu", 1),
+		RNG:      sim.NewRNG(seed),
+	}
+}
+
+// NewStack creates an engine, scheduler and runtime in one call — the
+// common test and benchmark setup.
+func NewStack(platform *soc.SoC, seed uint64) *Runtime {
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.DefaultConfig())
+	return NewRuntime(eng, sch, platform, seed)
+}
+
+// NewNNAPI builds this process's NNAPI framework instance over the
+// shared accelerators.
+func (rt *Runtime) NewNNAPI() *nnapi.Framework {
+	p := rt.Platform
+	ch := fastrpc.NewChannel(rt.Eng, p.RPC, rt.DSP)
+	return nnapi.New(nnapi.Config{
+		Engine:       rt.Eng,
+		AccelFP32:    driver.NewGPUTarget("nnapi-gpu", rt.Eng, &p.GPU, rt.GPUQueue, driver.NNAPIVendorSupports),
+		AccelInt8:    driver.NewDSPTarget("nnapi-dsp", &p.DSP, ch, 0.6, driver.NNAPIVendorSupports),
+		FallbackCPU:  driver.NewCPUTarget("nnapi-cpu-fallback", rt.Sch, &p.Big, 4),
+		ReferenceCPU: driver.NewReferenceCPUTarget("nnapi-ref", rt.Sch, &p.Big),
+	})
+}
+
+// NewSNPE builds this process's SNPE SDK instance.
+func (rt *Runtime) NewSNPE() *snpe.SDK {
+	p := rt.Platform
+	ch := fastrpc.NewChannel(rt.Eng, p.RPC, rt.DSP)
+	return &snpe.SDK{
+		CPU: driver.NewCPUTarget("snpe-cpu", rt.Sch, &p.Big, 4),
+		GPU: driver.NewGPUTarget("snpe-gpu", rt.Eng, &p.GPU, rt.GPUQueue, driver.SNPESupports),
+		DSP: driver.NewDSPTarget("snpe-dsp", &p.DSP, ch, 0.95, driver.SNPESupports),
+	}
+}
+
+// Options configure an interpreter.
+type Options struct {
+	Delegate Delegate
+	// Threads is the CPU thread count (default 4, the paper's setup).
+	Threads int
+	// Preference is the NNAPI execution preference (default
+	// FAST_SINGLE_ANSWER, as in §III-B).
+	Preference nnapi.Preference
+	// NNAPI supplies a framework instance; nil constructs one.
+	NNAPI *nnapi.Framework
+	// FuseActivations applies the graph-level activation-fusion pass
+	// before planning, removing per-op dispatch and launch overheads for
+	// element-wise activations. Off by default so the baseline matches
+	// the calibrated figures; the "fusion" experiment ablates it.
+	FuseActivations bool
+	// GPUAllowFP16 runs the GPU delegate in half precision (its real
+	// default), ~1.7x faster at reduced numeric precision. Off by
+	// default to match the paper's full-precision configuration.
+	GPUAllowFP16 bool
+}
+
+// Report describes one inference invocation.
+type Report struct {
+	driver.Result
+	// Transitions counts delegate partition boundaries crossed.
+	Transitions int
+}
+
+type segment struct {
+	target driver.Target
+	ops    []*nn.Op
+}
+
+// Interpreter executes one model with one delegate configuration.
+type Interpreter struct {
+	rt    *Runtime
+	Model *models.Model
+	DType tensor.DType
+	opts  Options
+
+	cpu      *driver.CPUTarget
+	segments []segment
+	nnapiFW  *nnapi.Framework
+	compiled *nnapi.CompiledModel
+	input    *tensor.Tensor
+	graph    *nn.Graph // possibly fused view of Model.Graph
+
+	initialized bool
+	// InitTime is the one-time load+compile cost (§IV-C notes the TFLite
+	// benchmark tool breaks out model initialization time).
+	InitTime time.Duration
+
+	// TransitionOverhead is the per-boundary handoff cost for GPU and
+	// Hexagon delegate partitions.
+	TransitionOverhead time.Duration
+}
+
+// NewInterpreter validates the (model, precision, delegate) combination
+// against the Table-I support matrix and builds the execution plan
+// skeleton. Init must run before Invoke.
+func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options) (*Interpreter, error) {
+	quant := dt == tensor.Int8 || dt == tensor.UInt8
+	if quant && !m.Quantizable() {
+		return nil, fmt.Errorf("tflite: %s has no quantized variant (Table I)", m.Name)
+	}
+	useNNAPI := opts.Delegate == DelegateNNAPI
+	if !m.Support.Supports(useNNAPI, dt) {
+		return nil, fmt.Errorf("tflite: %s is not supported with %v at %v (Table I)",
+			m.Name, opts.Delegate, dt)
+	}
+	if opts.Delegate == DelegateHexagon && !quant {
+		return nil, fmt.Errorf("tflite: the Hexagon delegate requires a quantized model")
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 4
+	}
+	ip := &Interpreter{
+		rt:                 rt,
+		Model:              m,
+		DType:              dt,
+		opts:               opts,
+		cpu:                driver.NewCPUTarget("tflite-cpu", rt.Sch, &rt.Platform.Big, opts.Threads),
+		TransitionOverhead: 80 * time.Microsecond,
+	}
+	graph := m.Graph
+	if opts.FuseActivations {
+		graph = nn.FuseActivations(graph)
+	}
+	ip.graph = graph
+	switch opts.Delegate {
+	case DelegateCPU:
+		ip.segments = []segment{{target: ip.cpu, ops: graph.Ops()}}
+	case DelegateGPU:
+		gpu := driver.NewGPUTarget("gpu-delegate", rt.Eng, &rt.Platform.GPU, rt.GPUQueue, driver.GPUDelegateSupports)
+		if opts.GPUAllowFP16 {
+			gpu.AllowFP16()
+		}
+		ip.segments = partition(graph, dt, gpu, ip.cpu)
+	case DelegateHexagon:
+		ch := fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
+		dsp := driver.NewDSPTarget("hexagon-delegate", &rt.Platform.DSP, ch, 0.8, driver.HexagonDelegateSupports)
+		ip.segments = partition(graph, dt, dsp, ip.cpu)
+	case DelegateNNAPI:
+		fw := opts.NNAPI
+		if fw == nil {
+			fw = rt.NewNNAPI()
+		}
+		ip.nnapiFW = fw
+	default:
+		return nil, fmt.Errorf("tflite: unknown delegate %v", opts.Delegate)
+	}
+	return ip, nil
+}
+
+// partition greedily splits the graph into maximal delegate-supported
+// runs, with the CPU covering the rest — TFLite's delegate mechanism.
+func partition(g *nn.Graph, dt tensor.DType, accel, cpu driver.Target) []segment {
+	var segs []segment
+	var cur *segment
+	for _, op := range g.Ops() {
+		t := driver.Target(cpu)
+		if accel.Supports(op, dt) {
+			t = accel
+		}
+		if cur == nil || cur.target != t {
+			segs = append(segs, segment{target: t})
+			cur = &segs[len(segs)-1]
+		}
+		cur.ops = append(cur.ops, op)
+	}
+	return segs
+}
+
+// Segments returns the number of execution partitions (1 when fully on
+// one target).
+func (ip *Interpreter) Segments() int {
+	if ip.opts.Delegate == DelegateNNAPI {
+		if ip.compiled == nil {
+			return 0
+		}
+		return len(ip.compiled.Partitions)
+	}
+	return len(ip.segments)
+}
+
+// SetInput binds a pre-processed input tensor, validating its shape and
+// precision against the model the way TFLite's type-checked input API
+// does. Inference cost is simulated, so binding is optional; the value
+// is the validation and the end-to-end plumbing for examples.
+func (ip *Interpreter) SetInput(t *tensor.Tensor) error {
+	m := ip.Model
+	var want tensor.Shape
+	if m.InputW > 0 {
+		want = tensor.Shape{1, m.InputH, m.InputW, 3}
+	} else if m.Pre.MaxTokens > 0 {
+		want = tensor.Shape{1, m.Pre.MaxTokens}
+	}
+	if want != nil && !t.Shape.Equal(want) {
+		return fmt.Errorf("tflite: %s expects input %v, got %v", m.Name, want, t.Shape)
+	}
+	quantModel := ip.DType == tensor.Int8 || ip.DType == tensor.UInt8
+	quantInput := t.DType == tensor.Int8 || t.DType == tensor.UInt8
+	if m.InputW > 0 && quantModel != quantInput {
+		return fmt.Errorf("tflite: %s (%v) cannot take a %v input", m.Name, ip.DType, t.DType)
+	}
+	ip.input = t
+	return nil
+}
+
+// Input returns the currently bound input tensor, or nil.
+func (ip *Interpreter) Input() *tensor.Tensor { return ip.input }
+
+// flashReadBytesPerSec is UFS-class storage throughput for model loading.
+const flashReadBytesPerSec = 600e6
+
+// Init performs the one-time model load and delegate compilation,
+// advancing the virtual clock; done fires when the interpreter is ready.
+func (ip *Interpreter) Init(done func()) {
+	load := time.Duration(float64(ip.graph.WeightBytes(ip.DType)) /
+		flashReadBytesPerSec * float64(time.Second))
+	build := time.Duration(ip.graph.NumOps()) * 25 * time.Microsecond
+
+	var compile time.Duration
+	switch ip.opts.Delegate {
+	case DelegateGPU:
+		// Shader compilation is the expensive delegate init.
+		compile = time.Duration(ip.graph.NumOps()) * 900 * time.Microsecond
+	case DelegateHexagon:
+		compile = time.Duration(ip.graph.NumOps()) * 250 * time.Microsecond
+	case DelegateNNAPI:
+		ip.compiled = ip.nnapiFW.Compile(ip.graph, ip.DType, ip.opts.Preference)
+		compile = ip.compiled.CompileTime
+	}
+	ip.InitTime = load + build + compile
+	ip.rt.Eng.After(ip.InitTime, func() {
+		ip.initialized = true
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Invoke runs one inference; done receives the invocation report.
+func (ip *Interpreter) Invoke(done func(Report)) {
+	if !ip.initialized {
+		panic("tflite: Invoke before Init")
+	}
+	if ip.opts.Delegate == DelegateNNAPI {
+		ip.nnapiFW.Execute(ip.compiled, func(r nnapi.Report) {
+			if done != nil {
+				done(Report{Result: r.Result, Transitions: r.Transitions})
+			}
+		})
+		return
+	}
+	var rep Report
+	var runSeg func(i int)
+	runSeg = func(i int) {
+		if i >= len(ip.segments) {
+			if done != nil {
+				done(rep)
+			}
+			return
+		}
+		s := ip.segments[i]
+		exec := func() {
+			s.target.Execute(s.ops, ip.DType, func(res driver.Result) {
+				rep.Result = rep.Result.Add(res)
+				runSeg(i + 1)
+			})
+		}
+		if i > 0 {
+			rep.Transitions++
+			rep.Overhead += ip.TransitionOverhead
+			ip.rt.Eng.After(ip.TransitionOverhead, exec)
+		} else {
+			exec()
+		}
+	}
+	runSeg(0)
+}
+
+// StdLib selects the C++ standard library the benchmark binary was
+// compiled against — the paper found libc++ generates random reals
+// significantly faster than integers, and libstdc++ the exact opposite.
+type StdLib int
+
+// Standard libraries.
+const (
+	LibCXX StdLib = iota
+	LibStdCXX
+)
+
+// String names the library.
+func (l StdLib) String() string {
+	if l == LibStdCXX {
+		return "libstdc++"
+	}
+	return "libc++"
+}
+
+// RandomInputWork is the cost of the benchmark utility's random input
+// tensor generation — its stand-in for data capture.
+func RandomInputWork(elems int, dt tensor.DType, lib StdLib) work.Work {
+	quant := dt == tensor.Int8 || dt == tensor.UInt8
+	var opsPerElem int64
+	switch {
+	case lib == LibCXX && quant:
+		opsPerElem = 120 // slow integer distribution path
+	case lib == LibCXX && !quant:
+		opsPerElem = 5 // fast real path
+	case lib == LibStdCXX && quant:
+		opsPerElem = 5
+	default:
+		opsPerElem = 120
+	}
+	return work.Work{
+		Ops:   int64(elems) * opsPerElem,
+		Bytes: int64(elems) * int64(dt.Size()+8),
+	}
+}

@@ -1,0 +1,84 @@
+// Package thermal models SoC die temperature with a first-order lumped
+// model: temperature relaxes toward a load-dependent equilibrium with an
+// exponential time constant, and sustained heat throttles the CPU. The
+// paper's methodology (§III-D) cools the chip to its 33°C idle
+// temperature before every run precisely because this effect otherwise
+// contaminates measurements.
+package thermal
+
+import (
+	"time"
+)
+
+// Model is a lumped thermal state.
+type Model struct {
+	// AmbientC is the idle equilibrium temperature.
+	AmbientC float64
+	// MaxLoadC is the equilibrium under full sustained load.
+	MaxLoadC float64
+	// ThrottleStartC is where frequency capping begins.
+	ThrottleStartC float64
+	// ThrottleFloorFactor is the worst-case throughput multiplier.
+	ThrottleFloorFactor float64
+	// TimeConstant controls how fast temperature moves (seconds scale).
+	TimeConstant time.Duration
+
+	tempC float64
+}
+
+// Default returns the model used for the Snapdragon-class platforms.
+func Default() *Model {
+	m := &Model{
+		AmbientC:            33,
+		MaxLoadC:            95,
+		ThrottleStartC:      72,
+		ThrottleFloorFactor: 0.55,
+		TimeConstant:        25 * time.Second,
+	}
+	m.tempC = m.AmbientC
+	return m
+}
+
+// TempC returns the current die temperature.
+func (m *Model) TempC() float64 { return m.tempC }
+
+// Reset cools the die back to ambient (the paper's pre-run procedure).
+func (m *Model) Reset() { m.tempC = m.AmbientC }
+
+// Advance moves the temperature over dt with the given utilization in
+// [0, 1]; equilibrium is linear in utilization between ambient and max.
+func (m *Model) Advance(dt time.Duration, utilization float64) {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	target := m.AmbientC + (m.MaxLoadC-m.AmbientC)*utilization
+	// First-order relaxation: T += (target - T) * (1 - e^(-dt/tau)),
+	// approximated by its linearization for stability at any dt.
+	alpha := float64(dt) / float64(m.TimeConstant)
+	if alpha > 1 {
+		alpha = 1
+	}
+	m.tempC += (target - m.tempC) * alpha
+}
+
+// ThrottleFactor returns the current CPU throughput multiplier: 1.0 below
+// the throttle threshold, falling linearly to the floor at max
+// temperature.
+func (m *Model) ThrottleFactor() float64 {
+	if m.tempC <= m.ThrottleStartC {
+		return 1
+	}
+	span := m.MaxLoadC - m.ThrottleStartC
+	frac := (m.tempC - m.ThrottleStartC) / span
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 - frac*(1-m.ThrottleFloorFactor)
+}
+
+// IsIdle reports whether the die is within half a degree of ambient,
+// i.e. the §III-D precondition for starting a measurement.
+func (m *Model) IsIdle() bool { return m.tempC <= m.AmbientC+0.5 }

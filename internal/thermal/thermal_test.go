@@ -1,0 +1,101 @@
+package thermal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStartsAtAmbient(t *testing.T) {
+	m := Default()
+	if m.TempC() != 33 {
+		t.Fatalf("start temp = %v, want 33", m.TempC())
+	}
+	if !m.IsIdle() {
+		t.Fatal("fresh model must be idle")
+	}
+	if m.ThrottleFactor() != 1 {
+		t.Fatal("idle model must not throttle")
+	}
+}
+
+func TestHeatsUnderLoad(t *testing.T) {
+	m := Default()
+	for i := 0; i < 60; i++ {
+		m.Advance(time.Second, 1)
+	}
+	if m.TempC() < 80 {
+		t.Fatalf("after 60s full load temp = %v, want >80", m.TempC())
+	}
+	if m.ThrottleFactor() >= 1 {
+		t.Fatal("hot die must throttle")
+	}
+	if m.IsIdle() {
+		t.Fatal("hot die reported idle")
+	}
+}
+
+func TestCoolsWhenIdle(t *testing.T) {
+	m := Default()
+	for i := 0; i < 60; i++ {
+		m.Advance(time.Second, 1)
+	}
+	hot := m.TempC()
+	for i := 0; i < 300; i++ {
+		m.Advance(time.Second, 0)
+	}
+	if m.TempC() >= hot || m.TempC() > 34 {
+		t.Fatalf("cooled temp = %v (was %v)", m.TempC(), hot)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := Default()
+	m.Advance(time.Minute, 1)
+	m.Reset()
+	if !m.IsIdle() {
+		t.Fatal("reset must return to idle")
+	}
+}
+
+func TestThrottleMonotone(t *testing.T) {
+	m := Default()
+	prev := m.ThrottleFactor()
+	for i := 0; i < 120; i++ {
+		m.Advance(time.Second, 1)
+		f := m.ThrottleFactor()
+		if f > prev+1e-9 {
+			t.Fatalf("throttle factor rose while heating: %v -> %v", prev, f)
+		}
+		prev = f
+	}
+	if prev < m.ThrottleFloorFactor-1e-9 {
+		t.Fatalf("throttle %v fell below floor %v", prev, m.ThrottleFloorFactor)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	m := Default()
+	m.Advance(time.Second, 5) // clamped to 1
+	a := m.TempC()
+	m2 := Default()
+	m2.Advance(time.Second, 1)
+	if a != m2.TempC() {
+		t.Fatal("utilization not clamped")
+	}
+	m3 := Default()
+	m3.Advance(time.Hour, -1) // clamped to 0: stays ambient
+	if m3.TempC() != m3.AmbientC {
+		t.Fatal("negative utilization not clamped")
+	}
+}
+
+func TestEquilibriumProportionalToLoad(t *testing.T) {
+	half := Default()
+	for i := 0; i < 600; i++ {
+		half.Advance(time.Second, 0.5)
+	}
+	mid := half.AmbientC + (half.MaxLoadC-half.AmbientC)*0.5
+	if d := half.TempC() - mid; d > 1 || d < -1 {
+		t.Fatalf("half-load equilibrium = %v, want ~%v", half.TempC(), mid)
+	}
+}

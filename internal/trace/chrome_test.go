@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"aitax/internal/sched"
+	"aitax/internal/sim"
+)
+
+func TestChromeRecorderCapturesRuns(t *testing.T) {
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.DefaultConfig())
+	rec := NewChromeRecorder()
+	rec.Attach(sch)
+	sch.Spawn("worker", sched.BigOnly).Exec(10*time.Millisecond, nil)
+	sch.SpawnMigratory("floater", nil).Exec(10*time.Millisecond, nil)
+	eng.Run()
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatal("missing display unit")
+	}
+	sawRun, sawMigrate := false, false
+	lastTS := -1.0
+	for _, e := range parsed.TraceEvents {
+		if e.TS < lastTS {
+			t.Fatal("events not sorted by timestamp")
+		}
+		lastTS = e.TS
+		switch e.Ph {
+		case "X":
+			sawRun = true
+			if e.Dur <= 0 {
+				t.Fatal("complete event without duration")
+			}
+		case "i":
+			sawMigrate = true
+		}
+	}
+	if !sawRun {
+		t.Fatal("no run spans in trace")
+	}
+	if !sawMigrate {
+		t.Fatal("no migration markers in trace")
+	}
+}
+
+func TestChromeMarkSpan(t *testing.T) {
+	rec := NewChromeRecorder()
+	rec.MarkSpan("pre-processing", "pipeline", 2, sim.Time(1000), time.Millisecond)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("pre-processing")) {
+		t.Fatal("span missing from JSON")
+	}
+}

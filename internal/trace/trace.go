@@ -1,0 +1,258 @@
+// Package trace is the Snapdragon-Profiler stand-in: it records
+// scheduler activity per core, samples accelerator occupancy, counts
+// context switches and migrations, and renders Fig. 6-style utilization
+// timelines. It also provides the driver-instrumentation wrapper whose
+// 4-7% probe effect §III-D quantifies.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aitax/internal/sched"
+	"aitax/internal/sim"
+)
+
+type runEvent struct {
+	core  int
+	start sim.Time
+	dur   time.Duration
+}
+
+type trackedResource struct {
+	name    string
+	res     *sim.Resource
+	gauge   func() float64
+	samples []float64
+}
+
+func (tr *trackedResource) sample() float64 {
+	if tr.gauge != nil {
+		return tr.gauge()
+	}
+	return float64(tr.res.InUse()) / float64(tr.res.Capacity())
+}
+
+// Profiler collects a timeline of core and accelerator activity.
+type Profiler struct {
+	eng *sim.Engine
+	// Bucket is the timeline resolution.
+	Bucket time.Duration
+
+	cores      int
+	runs       []runEvent
+	migrations []sim.Time
+	resources  []*trackedResource
+	sampling   bool
+}
+
+// NewProfiler creates a profiler with the given timeline bucket.
+func NewProfiler(eng *sim.Engine, bucket time.Duration) *Profiler {
+	if bucket <= 0 {
+		panic("trace: bucket must be positive")
+	}
+	return &Profiler{eng: eng, Bucket: bucket}
+}
+
+// Attach subscribes to a scheduler's events.
+func (p *Profiler) Attach(s *sched.Scheduler) {
+	p.cores = len(s.Cores())
+	s.Subscribe(p)
+}
+
+// OnRun implements sched.Listener.
+func (p *Profiler) OnRun(th *sched.Thread, core *sched.Core, start sim.Time, d time.Duration) {
+	p.runs = append(p.runs, runEvent{core: core.ID, start: start, dur: d})
+}
+
+// OnMigrate implements sched.Listener.
+func (p *Profiler) OnMigrate(th *sched.Thread, from, to *sched.Core, at sim.Time) {
+	p.migrations = append(p.migrations, at)
+}
+
+// TrackResource samples a resource's occupancy each bucket while
+// sampling is active (accelerators are not scheduler entities, so they
+// are polled the way a profiler daemon polls sysfs counters).
+func (p *Profiler) TrackResource(name string, res *sim.Resource) {
+	p.resources = append(p.resources, &trackedResource{name: name, res: res})
+}
+
+// TrackDerived samples an arbitrary gauge in [0,1] each bucket — used
+// for synthetic rows like AXI fabric traffic, which the Snapdragon
+// Profiler derives from bus monitors rather than a schedulable unit.
+func (p *Profiler) TrackDerived(name string, gauge func() float64) {
+	p.resources = append(p.resources, &trackedResource{name: name, gauge: gauge})
+}
+
+// StartSampling begins periodic resource sampling for the given horizon
+// of virtual time.
+func (p *Profiler) StartSampling(horizon time.Duration) {
+	if p.sampling {
+		return
+	}
+	p.sampling = true
+	deadline := p.eng.Now().Add(horizon)
+	var tick func()
+	tick = func() {
+		for _, tr := range p.resources {
+			tr.samples = append(tr.samples, tr.sample())
+		}
+		if p.eng.Now() < deadline {
+			p.eng.After(p.Bucket, tick)
+		} else {
+			p.sampling = false
+		}
+	}
+	tick()
+}
+
+// Migrations returns the number of observed migrations.
+func (p *Profiler) Migrations() int { return len(p.migrations) }
+
+// Horizon returns the end of recorded activity.
+func (p *Profiler) Horizon() time.Duration {
+	var end sim.Time
+	for _, r := range p.runs {
+		if e := r.start.Add(r.dur); e > end {
+			end = e
+		}
+	}
+	return end.Duration()
+}
+
+// buckets returns the number of timeline buckets covering the horizon.
+func (p *Profiler) buckets() int {
+	n := int(p.Horizon()/p.Bucket) + 1
+	for _, tr := range p.resources {
+		if len(tr.samples) > n {
+			n = len(tr.samples)
+		}
+	}
+	return n
+}
+
+// CoreUtilization returns per-bucket utilization of one core in [0,1].
+func (p *Profiler) CoreUtilization(core int) []float64 {
+	out := make([]float64, p.buckets())
+	for _, r := range p.runs {
+		if r.core != core {
+			continue
+		}
+		spreadInterval(out, p.Bucket, r.start, r.dur)
+	}
+	for i := range out {
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// spreadInterval accumulates an interval's overlap into buckets.
+func spreadInterval(buckets []float64, bucket time.Duration, start sim.Time, dur time.Duration) {
+	t := start
+	remaining := dur
+	for remaining > 0 {
+		idx := int(t.Duration() / bucket)
+		if idx >= len(buckets) {
+			return
+		}
+		bucketEnd := sim.Time((idx + 1) * int(bucket))
+		span := bucketEnd.Sub(t)
+		if span > remaining {
+			span = remaining
+		}
+		buckets[idx] += float64(span) / float64(bucket)
+		t = t.Add(span)
+		remaining -= span
+	}
+}
+
+// MigrationCounts returns per-bucket migration counts.
+func (p *Profiler) MigrationCounts() []int {
+	out := make([]int, p.buckets())
+	for _, at := range p.migrations {
+		idx := int(at.Duration() / p.Bucket)
+		if idx < len(out) {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+func utilizationGlyph(u float64) byte {
+	switch {
+	case u <= 0.02:
+		return ' '
+	case u < 0.25:
+		return '.'
+	case u < 0.5:
+		return ':'
+	case u < 0.75:
+		return '+'
+	default:
+		return '#'
+	}
+}
+
+// Render draws the Fig. 6-style timeline: one row per core, one row per
+// tracked resource, and a migration row, with time left to right.
+func (p *Profiler) Render() string {
+	var b strings.Builder
+	n := p.buckets()
+	const maxCols = 120
+	stride := 1
+	if n > maxCols {
+		stride = (n + maxCols - 1) / maxCols
+	}
+	fmt.Fprintf(&b, "timeline: %v per column, %v total\n", p.Bucket*time.Duration(stride), p.Horizon())
+	for c := 0; c < p.cores; c++ {
+		u := p.CoreUtilization(c)
+		fmt.Fprintf(&b, "cpu%-2d |", c)
+		for i := 0; i < n; i += stride {
+			peak := 0.0
+			for j := i; j < i+stride && j < n; j++ {
+				if u[j] > peak {
+					peak = u[j]
+				}
+			}
+			b.WriteByte(utilizationGlyph(peak))
+		}
+		b.WriteString("|\n")
+	}
+	for _, tr := range p.resources {
+		fmt.Fprintf(&b, "%-5s |", tr.name)
+		for i := 0; i < n; i += stride {
+			peak := 0.0
+			for j := i; j < i+stride && j < len(tr.samples); j++ {
+				if tr.samples[j] > peak {
+					peak = tr.samples[j]
+				}
+			}
+			b.WriteByte(utilizationGlyph(peak))
+		}
+		b.WriteString("|\n")
+	}
+	mig := p.MigrationCounts()
+	b.WriteString("migr  |")
+	for i := 0; i < n; i += stride {
+		count := 0
+		for j := i; j < i+stride && j < len(mig); j++ {
+			count += mig[j]
+		}
+		switch {
+		case count == 0:
+			b.WriteByte(' ')
+		case count < 3:
+			b.WriteByte('.')
+		case count < 8:
+			b.WriteByte('x')
+		default:
+			b.WriteByte('X')
+		}
+	}
+	b.WriteString("|\n")
+	fmt.Fprintf(&b, "context: %d migrations\n", len(p.migrations))
+	return b.String()
+}

@@ -1,0 +1,39 @@
+// Package work defines the device-independent unit of compute demand that
+// pipeline stages emit and simulated hardware consumes. Keeping it in its
+// own package lets algorithm packages (preproc, postproc, nn) describe
+// cost without depending on the hardware models in soc, and vice versa.
+package work
+
+import "fmt"
+
+// Work describes a unit of computation in device-independent terms.
+// Devices translate it to virtual time using their throughput parameters;
+// whichever of the compute or memory components takes longer dominates
+// (a simple roofline).
+type Work struct {
+	// Ops is the number of arithmetic operations (MACs count as two).
+	Ops int64
+	// Bytes is the memory traffic in bytes (reads + writes).
+	Bytes int64
+	// Vectorizable marks work that profits from SIMD/HVX-style units.
+	Vectorizable bool
+}
+
+// Add accumulates other into w.
+func (w Work) Add(other Work) Work {
+	return Work{
+		Ops:          w.Ops + other.Ops,
+		Bytes:        w.Bytes + other.Bytes,
+		Vectorizable: w.Vectorizable && other.Vectorizable,
+	}
+}
+
+// Scale multiplies both components by n.
+func (w Work) Scale(n int64) Work {
+	return Work{Ops: w.Ops * n, Bytes: w.Bytes * n, Vectorizable: w.Vectorizable}
+}
+
+// String renders the work compactly.
+func (w Work) String() string {
+	return fmt.Sprintf("Work(ops=%d bytes=%d vec=%v)", w.Ops, w.Bytes, w.Vectorizable)
+}

@@ -1,0 +1,30 @@
+package work
+
+import "testing"
+
+func TestAdd(t *testing.T) {
+	a := Work{Ops: 1, Bytes: 2, Vectorizable: true}
+	b := Work{Ops: 10, Bytes: 20, Vectorizable: true}
+	c := a.Add(b)
+	if c.Ops != 11 || c.Bytes != 22 || !c.Vectorizable {
+		t.Fatalf("add = %+v", c)
+	}
+	// Mixing in non-vectorizable work poisons the flag.
+	d := c.Add(Work{Ops: 1, Bytes: 1, Vectorizable: false})
+	if d.Vectorizable {
+		t.Fatal("vectorizable must be conjunctive")
+	}
+}
+
+func TestScale(t *testing.T) {
+	w := Work{Ops: 3, Bytes: 5, Vectorizable: true}.Scale(4)
+	if w.Ops != 12 || w.Bytes != 20 || !w.Vectorizable {
+		t.Fatalf("scale = %+v", w)
+	}
+}
+
+func TestString(t *testing.T) {
+	if (Work{}).String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,61 @@
+// Package workload generates the background inference load of the
+// paper's multi-tenancy experiments (Figs. 9 and 10): N copies of the
+// TFLite benchmark utility scheduling the same model in a loop, either
+// through the NNAPI Hexagon path (contending for the single DSP) or on
+// the CPU (contending with the app's capture and pre-processing
+// threads).
+package workload
+
+import (
+	"fmt"
+
+	"aitax/internal/models"
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
+)
+
+// Background is a set of continuously-inferencing background jobs.
+type Background struct {
+	rt      *tflite.Runtime
+	ips     []*tflite.Interpreter
+	stopped bool
+	// Completed counts finished background inferences across all jobs.
+	Completed int
+}
+
+// Start launches count background jobs of the model on the delegate.
+// Each job initializes, then invokes in a closed loop until Stop.
+func Start(rt *tflite.Runtime, model *models.Model, dt tensor.DType, delegate tflite.Delegate, count int) (*Background, error) {
+	b := &Background{rt: rt}
+	for i := 0; i < count; i++ {
+		ip, err := rt.NewInterpreter(model, dt, tflite.Options{Delegate: delegate})
+		if err != nil {
+			return nil, fmt.Errorf("workload: job %d: %w", i, err)
+		}
+		b.ips = append(b.ips, ip)
+		b.runLoop(ip)
+	}
+	return b, nil
+}
+
+func (b *Background) runLoop(ip *tflite.Interpreter) {
+	ip.Init(func() {
+		var loop func()
+		loop = func() {
+			if b.stopped {
+				return
+			}
+			ip.Invoke(func(tflite.Report) {
+				b.Completed++
+				loop()
+			})
+		}
+		loop()
+	})
+}
+
+// Stop ends all background loops (in-flight invocations drain).
+func (b *Background) Stop() { b.stopped = true }
+
+// Jobs returns the number of background jobs.
+func (b *Background) Jobs() int { return len(b.ips) }

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"aitax/internal/app"
+	"aitax/internal/models"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
+)
+
+func TestBackgroundJobsRun(t *testing.T) {
+	rt := tflite.NewStack(soc.Pixel3(), 1)
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	bg, err := Start(rt, m, tensor.UInt8, tflite.DelegateCPU, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Eng.After(200*time.Millisecond, bg.Stop)
+	rt.Eng.Run()
+	if bg.Completed == 0 {
+		t.Fatal("no background inferences completed")
+	}
+	if bg.Jobs() != 2 {
+		t.Fatalf("jobs = %d", bg.Jobs())
+	}
+}
+
+func TestStartRejectsUnsupportedCombo(t *testing.T) {
+	rt := tflite.NewStack(soc.Pixel3(), 1)
+	m, _ := models.ByName("AlexNet")
+	if _, err := Start(rt, m, tensor.Float32, tflite.DelegateNNAPI, 1); err == nil {
+		t.Fatal("unsupported combo accepted")
+	}
+}
+
+// appBreakdown runs the classification app with n background jobs on the
+// given delegate and returns mean per-stage times.
+func appBreakdown(t *testing.T, n int, bgDelegate tflite.Delegate) (capPre, inf time.Duration) {
+	t.Helper()
+	rt := tflite.NewStack(soc.Pixel3(), 42)
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	a, err := app.New(rt, app.Config{Model: m, DType: tensor.UInt8,
+		Delegate: tflite.DelegateNNAPI, Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bg *Background
+	if n > 0 {
+		bg, err = Start(rt, m, tensor.UInt8, bgDelegate, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := 12
+	const skip = 2 // cold-start warmup frames
+	a.Init(func() {
+		a.Run(frames, func(sts []app.FrameStats) {
+			for _, st := range sts[skip:] {
+				capPre += st.Capture + st.Pre
+				inf += st.Inference
+			}
+			capPre /= time.Duration(frames - skip)
+			inf /= time.Duration(frames - skip)
+			a.StopStream()
+			if bg != nil {
+				bg.Stop()
+			}
+		})
+	})
+	rt.Eng.Run()
+	return capPre, inf
+}
+
+func TestFigure9DSPBackgroundStretchesInference(t *testing.T) {
+	// Fig. 9: background NNAPI(DSP) inferences stall the app's inference
+	// on the single DSP; capture+pre stays roughly constant.
+	capPre0, inf0 := appBreakdown(t, 0, tflite.DelegateHexagon)
+	capPre3, inf3 := appBreakdown(t, 3, tflite.DelegateHexagon)
+	if inf3 < 2*inf0 {
+		t.Fatalf("3 DSP tenants: inference %v -> %v, want big stretch", inf0, inf3)
+	}
+	ratio := float64(capPre3) / float64(capPre0)
+	if ratio > 1.5 {
+		t.Fatalf("capture+pre stretched %.2fx under DSP tenancy, want ~flat", ratio)
+	}
+}
+
+func TestFigure10CPUBackgroundStretchesCapturePre(t *testing.T) {
+	// Fig. 10: background CPU inferences contend with capture and
+	// pre-processing; the app's DSP inference stays roughly constant.
+	capPre0, inf0 := appBreakdown(t, 0, tflite.DelegateCPU)
+	capPre3, inf3 := appBreakdown(t, 3, tflite.DelegateCPU)
+	if float64(capPre3) < 1.3*float64(capPre0) {
+		t.Fatalf("3 CPU tenants: capture+pre %v -> %v, want clear stretch", capPre0, capPre3)
+	}
+	if float64(inf3) > 1.6*float64(inf0) {
+		t.Fatalf("inference stretched %v -> %v under CPU tenancy, want ~flat", inf0, inf3)
+	}
+}
+
+func TestInferenceScalesLinearlyWithDSPTenants(t *testing.T) {
+	// Fig. 9 reports a linear increase in latency per inference.
+	var prev time.Duration
+	for _, n := range []int{0, 1, 2} {
+		_, inf := appBreakdown(t, n, tflite.DelegateHexagon)
+		if inf <= prev {
+			t.Fatalf("inference must grow with tenants: n=%d inf=%v prev=%v", n, inf, prev)
+		}
+		prev = inf
+	}
+}

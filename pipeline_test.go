@@ -1,0 +1,79 @@
+package aitax_test
+
+import (
+	"testing"
+
+	"aitax"
+)
+
+func TestPipelineFacadeVision(t *testing.T) {
+	frame := aitax.SyntheticFrame(64, 48, 1)
+	img := aitax.YUVToARGB(frame)
+	if img.Width != 64 || img.Height != 48 {
+		t.Fatalf("converted dims = %dx%d", img.Width, img.Height)
+	}
+	scene := aitax.SyntheticScene(64, 48, 1)
+	resized := aitax.ResizeBilinear(scene, 32, 32)
+	if resized.Width != 32 {
+		t.Fatal("resize facade broken")
+	}
+	cropped := aitax.CenterCrop(scene, 20, 20)
+	if cropped.Width != 20 {
+		t.Fatal("crop facade broken")
+	}
+	rotated := aitax.Rotate90(scene, 1)
+	if rotated.Width != 48 || rotated.Height != 64 {
+		t.Fatal("rotate facade broken")
+	}
+	tensor := aitax.Normalize(resized, 127.5, 127.5)
+	if tensor.Elems() != 32*32*3 {
+		t.Fatal("normalize facade broken")
+	}
+}
+
+func TestPipelineFacadePost(t *testing.T) {
+	m, _ := aitax.ModelByName("MobileNet 1.0 v1")
+	outs := aitax.FabricateOutputs(m, aitax.UInt8, 5)
+	deq := aitax.Dequantize(outs[0])
+	top := aitax.TopK(deq, 3)
+	if len(top) != 3 {
+		t.Fatal("topK facade broken")
+	}
+	p := aitax.Softmax([]float64{1, 2})
+	if len(p) != 2 || p[1] <= p[0] {
+		t.Fatal("softmax facade broken")
+	}
+
+	ssd, _ := aitax.ModelByName("SSD MobileNet v2")
+	souts := aitax.FabricateOutputs(ssd, aitax.Float32, 5)
+	anchors := aitax.DefaultAnchors(26)[:1917]
+	boxes := aitax.DecodeBoxes(souts[0], souts[1], anchors, 0.5)
+	if len(aitax.NMS(boxes, 0.5, 5)) == 0 {
+		t.Fatal("detection facade broken")
+	}
+
+	pose, _ := aitax.ModelByName("PoseNet")
+	pouts := aitax.FabricateOutputs(pose, aitax.Float32, 5)
+	if len(aitax.DecodeKeypoints(pouts[0], pouts[1], 16)) != 17 {
+		t.Fatal("keypoint facade broken")
+	}
+
+	dl, _ := aitax.ModelByName("Deeplab-v3 MobileNet-v2")
+	douts := aitax.FabricateOutputs(dl, aitax.Float32, 5)
+	if len(aitax.FlattenMask(douts[0])) != 513*513 {
+		t.Fatal("mask facade broken")
+	}
+}
+
+func TestPreSpecFacade(t *testing.T) {
+	m, _ := aitax.ModelByName("PoseNet")
+	spec := m.PreSpec(aitax.Float32)
+	frame := aitax.SyntheticScene(480, 360, 2)
+	input, w := spec.Run(frame)
+	if input.Elems() != 224*224*3 {
+		t.Fatalf("posenet input elems = %d", input.Elems())
+	}
+	if w.Ops <= 0 {
+		t.Fatal("pre work missing")
+	}
+}

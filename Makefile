@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments validate results examples clean
+.PHONY: all build test test-norace vet bench experiments validate results examples clean
 
-all: build vet test
+all: build test
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# vet + race so the concurrent lab runner is race-checked on every run.
+test: vet
+	$(GO) test -race ./...
+
+# Plain (no -race) test run, for hosts without race-detector support.
+test-norace:
 	$(GO) test ./...
 
 # Full test log, as the release process captures it.

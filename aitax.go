@@ -28,12 +28,18 @@
 package aitax
 
 import (
+	"context"
+	"fmt"
+	"time"
+
 	"aitax/internal/app"
 	"aitax/internal/bench"
 	"aitax/internal/core"
 	"aitax/internal/driver"
+	"aitax/internal/lab"
 	"aitax/internal/models"
 	"aitax/internal/nnapi"
+	"aitax/internal/sim"
 	"aitax/internal/snpe"
 	"aitax/internal/soc"
 	"aitax/internal/tensor"
@@ -195,36 +201,118 @@ func Experiments() []Experiment { return bench.Experiments() }
 // ExperimentByID finds an experiment ("table1", "fig5", ...).
 func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }
 
-// AppOptions configure MeasureApp.
+// RunAllExperiments regenerates every experiment across a worker pool of
+// the given size (<= 0 means GOMAXPROCS), returning results in paper
+// order regardless of completion order — rendered output is
+// byte-identical at any parallelism. A failing or panicking experiment
+// becomes an error Result (Notes carry a "setup failed" line), never a
+// crashed run.
+func RunAllExperiments(cfg ExperimentConfig, parallelism int) []*ExperimentResult {
+	return bench.RunAll(cfg, parallelism)
+}
+
+// Parallel experiment lab.
+type (
+	// Lab is a concurrent measurement-job engine: a bounded worker pool
+	// with panic isolation, per-job accounting, and a deterministic
+	// merge that emits results in submission order.
+	Lab = lab.Lab
+	// Job is one unit of lab work.
+	Job = lab.Job
+	// JobResult is the outcome of one lab job.
+	JobResult = lab.JobResult
+	// LabPanicError is the error a panicking lab job is converted to.
+	LabPanicError = lab.PanicError
+)
+
+// ReportSimTime attributes simulated virtual time to the enclosing lab
+// job; outside a lab job it is a no-op. The MeasureApp/MeasureBenchmark
+// context variants call it automatically.
+func ReportSimTime(ctx context.Context, d time.Duration) { lab.ReportSim(ctx, d) }
+
+// DefaultSeed is the seed every measurement uses when none is set
+// explicitly (see AppOptions.SeedSet and ExperimentConfig.SeedSet).
+const DefaultSeed uint64 = bench.DefaultSeed
+
+// AppOptions configure MeasureApp, MeasureAppFrames and
+// MeasureBenchmark. Each field documents which calls honour it; calls
+// return an error when an option they ignore is set, instead of
+// silently dropping it. Defaults documents the unset-field behaviour.
 type AppOptions struct {
-	// Model is the Table-I model name.
+	// Model is the Table-I model name. All calls.
 	Model string
-	// DType is the precision (Float32 or UInt8).
+	// DType is the precision (Float32 or UInt8). All calls.
 	DType DType
-	// Delegate is the execution path (default NNAPI).
+	// Delegate is the execution path. All calls.
 	Delegate Delegate
-	// Frames is the number of measured frames (default 50).
+	// Frames is the number of measured frames (default 50). All calls.
 	Frames int
-	// WarmupFrames are discarded before measuring (default 2).
+	// WarmupFrames are discarded before measuring: 0 selects the default
+	// of 2, a negative value disables warmup. MeasureApp and
+	// MeasureAppFrames only; MeasureBenchmark rejects it (the benchmark
+	// utility has no warmup phase).
 	WarmupFrames int
-	// Platform defaults to the Pixel 3.
+	// Platform defaults to the Pixel 3. All calls.
 	Platform *SoC
-	// Seed fixes the run's stochastic behaviour (default 42).
+	// Seed fixes the run's stochastic behaviour. All calls. A zero Seed
+	// with SeedSet false selects DefaultSeed (42); set SeedSet to
+	// request seed 0 itself.
 	Seed uint64
+	// SeedSet marks Seed as explicit, making Seed 0 requestable.
+	// Without it a zero Seed is indistinguishable from "unset".
+	SeedSet bool
 	// BackgroundJobs adds multi-tenant load on BackgroundDelegate.
+	// MeasureApp and MeasureAppFrames only; MeasureBenchmark rejects it
+	// (the benchmark utility models a single isolated process).
 	BackgroundJobs     int
 	BackgroundDelegate Delegate
 	// StdLib selects the benchmark binary's C++ standard library, which
-	// flips the random-generation cost asymmetry (§IV-A). Applies to
-	// MeasureBenchmark only.
+	// flips the random-generation cost asymmetry (§IV-A).
+	// MeasureBenchmark only; the app calls reject a non-default value
+	// (the application pipeline processes real frames, not random
+	// input).
 	StdLib StdLib
+}
+
+// Defaults returns a copy of o with every unset field filled with its
+// documented default: Pixel 3 platform, DefaultSeed (unless SeedSet or
+// a non-zero Seed marks the seed explicit), 50 frames, and 2 warmup
+// frames (a negative WarmupFrames becomes 0, i.e. no warmup).
+func (o AppOptions) Defaults() AppOptions {
+	if o.Platform == nil {
+		o.Platform = soc.Pixel3()
+	}
+	if !o.SeedSet {
+		if o.Seed == 0 {
+			o.Seed = DefaultSeed
+		}
+		o.SeedSet = true
+	}
+	if o.Frames == 0 {
+		o.Frames = 50
+	}
+	switch {
+	case o.WarmupFrames == 0:
+		o.WarmupFrames = 2
+	case o.WarmupFrames < 0:
+		o.WarmupFrames = 0
+	}
+	return o
 }
 
 // MeasureApp runs the instrumented application end to end on the
 // simulated platform and returns the per-stage AI-tax breakdown — the
 // library's one-call answer to "where does my ML app's time go?".
 func MeasureApp(opts AppOptions) (Breakdown, error) {
-	frames, err := MeasureAppFrames(opts)
+	return MeasureAppCtx(context.Background(), opts)
+}
+
+// MeasureAppCtx is MeasureApp with cancellation: the simulation checks
+// ctx between event batches and aborts promptly when it is cancelled.
+// When run inside a lab job it also attributes the simulated virtual
+// time to the job's accounting.
+func MeasureAppCtx(ctx context.Context, opts AppOptions) (Breakdown, error) {
+	frames, err := MeasureAppFramesCtx(ctx, opts)
 	if err != nil {
 		return Breakdown{}, err
 	}
@@ -233,17 +321,23 @@ func MeasureApp(opts AppOptions) (Breakdown, error) {
 
 // MeasureBenchmark runs the TFLite-style benchmark utility for the same
 // model and returns its per-run samples — the inference-only view the
-// paper contrasts applications against.
+// paper contrasts applications against. Options the benchmark utility
+// cannot honour (WarmupFrames, BackgroundJobs) are rejected with an
+// error rather than silently ignored.
 func MeasureBenchmark(opts AppOptions) ([]RunSample, error) {
-	if opts.Platform == nil {
-		opts.Platform = soc.Pixel3()
+	return MeasureBenchmarkCtx(context.Background(), opts)
+}
+
+// MeasureBenchmarkCtx is MeasureBenchmark with cancellation (and lab
+// simulated-time accounting), mirroring MeasureAppCtx.
+func MeasureBenchmarkCtx(ctx context.Context, opts AppOptions) ([]RunSample, error) {
+	if opts.WarmupFrames != 0 {
+		return nil, fmt.Errorf("aitax: MeasureBenchmark does not honour WarmupFrames (the benchmark utility has no warmup phase); use MeasureApp, or leave it unset")
 	}
-	if opts.Seed == 0 {
-		opts.Seed = 42
+	if opts.BackgroundJobs != 0 {
+		return nil, fmt.Errorf("aitax: MeasureBenchmark does not honour BackgroundJobs (the benchmark utility models a single isolated process); use MeasureApp, or leave it unset")
 	}
-	if opts.Frames == 0 {
-		opts.Frames = 50
-	}
+	opts = opts.Defaults()
 	m, err := models.ByName(opts.Model)
 	if err != nil {
 		return nil, err
@@ -257,7 +351,9 @@ func MeasureBenchmark(opts AppOptions) ([]RunSample, error) {
 	bt.StdLib = opts.StdLib
 	var samples []tflite.RunSample
 	bt.Run(opts.Frames, func(s []tflite.RunSample) { samples = s })
-	rt.Eng.Run()
+	if err := runEngine(ctx, rt.Eng); err != nil {
+		return nil, err
+	}
 	return samples, nil
 }
 
@@ -265,18 +361,16 @@ func MeasureBenchmark(opts AppOptions) ([]RunSample, error) {
 // breakdowns instead of the aggregate (for CSV export and custom
 // analyses).
 func MeasureAppFrames(opts AppOptions) ([]FrameStats, error) {
-	if opts.Platform == nil {
-		opts.Platform = soc.Pixel3()
+	return MeasureAppFramesCtx(context.Background(), opts)
+}
+
+// MeasureAppFramesCtx is MeasureAppFrames with cancellation (and lab
+// simulated-time accounting), mirroring MeasureAppCtx.
+func MeasureAppFramesCtx(ctx context.Context, opts AppOptions) ([]FrameStats, error) {
+	if opts.StdLib != LibCXX {
+		return nil, fmt.Errorf("aitax: the application pipeline does not honour StdLib (it processes real frames, not generated random input); use MeasureBenchmark, or leave it unset")
 	}
-	if opts.Seed == 0 {
-		opts.Seed = 42
-	}
-	if opts.Frames == 0 {
-		opts.Frames = 50
-	}
-	if opts.WarmupFrames == 0 {
-		opts.WarmupFrames = 2
-	}
+	opts = opts.Defaults()
 	m, err := models.ByName(opts.Model)
 	if err != nil {
 		return nil, err
@@ -305,6 +399,28 @@ func MeasureAppFrames(opts AppOptions) ([]FrameStats, error) {
 			}
 		})
 	})
-	rt.Eng.Run()
+	if err := runEngine(ctx, rt.Eng); err != nil {
+		return nil, err
+	}
 	return frames, nil
+}
+
+// runEngine drains the simulation engine, checking ctx between event
+// batches so a cancelled measurement aborts promptly, and reports the
+// final virtual time to the enclosing lab job (if any).
+func runEngine(ctx context.Context, eng *sim.Engine) error {
+	const batch = 4096
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		for i := 0; i < batch; i++ {
+			if !eng.Step() {
+				lab.ReportSim(ctx, eng.Now().Duration())
+				return nil
+			}
+		}
+	}
 }

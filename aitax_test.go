@@ -1,6 +1,8 @@
 package aitax_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -121,6 +123,129 @@ func TestExperimentsFacade(t *testing.T) {
 	res := e.Run(aitax.ExperimentConfig{Runs: 5})
 	if len(res.Rows) != 11 {
 		t.Fatal("table1 via facade broken")
+	}
+}
+
+func TestAppOptionsDefaults(t *testing.T) {
+	d := aitax.AppOptions{}.Defaults()
+	if d.Platform == nil || d.Seed != aitax.DefaultSeed || !d.SeedSet ||
+		d.Frames != 50 || d.WarmupFrames != 2 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	// Seed 0 is requestable with SeedSet.
+	z := aitax.AppOptions{Seed: 0, SeedSet: true}.Defaults()
+	if z.Seed != 0 {
+		t.Fatalf("explicit seed 0 coerced to %d", z.Seed)
+	}
+	// A non-zero seed counts as explicit without SeedSet.
+	if s := (aitax.AppOptions{Seed: 7}).Defaults(); s.Seed != 7 {
+		t.Fatalf("seed 7 rewritten to %d", s.Seed)
+	}
+	// Negative WarmupFrames means no warmup.
+	if w := (aitax.AppOptions{WarmupFrames: -1}).Defaults(); w.WarmupFrames != 0 {
+		t.Fatalf("WarmupFrames -1 -> %d, want 0", w.WarmupFrames)
+	}
+}
+
+func TestSeedZeroRuns(t *testing.T) {
+	b, err := aitax.MeasureApp(aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.UInt8,
+		Delegate: aitax.DelegateNNAPI, Frames: 8, Seed: 0, SeedSet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 8 {
+		t.Fatalf("frames = %d", b.N)
+	}
+}
+
+func TestMeasureBenchmarkRejectsIgnoredOptions(t *testing.T) {
+	base := aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.Float32,
+		Delegate: aitax.DelegateCPU, Frames: 5,
+	}
+	bg := base
+	bg.BackgroundJobs = 2
+	if _, err := aitax.MeasureBenchmark(bg); err == nil ||
+		!strings.Contains(err.Error(), "BackgroundJobs") {
+		t.Fatalf("BackgroundJobs silently dropped: %v", err)
+	}
+	wu := base
+	wu.WarmupFrames = 3
+	if _, err := aitax.MeasureBenchmark(wu); err == nil ||
+		!strings.Contains(err.Error(), "WarmupFrames") {
+		t.Fatalf("WarmupFrames silently dropped: %v", err)
+	}
+}
+
+func TestMeasureAppRejectsStdLib(t *testing.T) {
+	if _, err := aitax.MeasureApp(aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.UInt8,
+		Delegate: aitax.DelegateNNAPI, Frames: 5, StdLib: aitax.LibStdCXX,
+	}); err == nil || !strings.Contains(err.Error(), "StdLib") {
+		t.Fatalf("StdLib silently dropped: %v", err)
+	}
+}
+
+func TestMeasureAppCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := aitax.MeasureAppCtx(ctx, aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.UInt8,
+		Delegate: aitax.DelegateNNAPI, Frames: 5,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := aitax.MeasureBenchmarkCtx(ctx, aitax.AppOptions{
+		Model: "MobileNet 1.0 v1", DType: aitax.Float32,
+		Delegate: aitax.DelegateCPU, Frames: 5,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("benchmark err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLabFacade(t *testing.T) {
+	l := &aitax.Lab{Parallelism: 4}
+	jobs := []aitax.Job{
+		{ID: "mobilenet", Run: func(ctx context.Context) (any, error) {
+			b, err := aitax.MeasureAppCtx(ctx, aitax.AppOptions{
+				Model: "MobileNet 1.0 v1", DType: aitax.UInt8,
+				Delegate: aitax.DelegateNNAPI, Frames: 6,
+			})
+			return b, err
+		}},
+		{ID: "boom", Run: func(ctx context.Context) (any, error) { panic("fail one") }},
+	}
+	rs := l.Run(context.Background(), jobs)
+	if rs[0].Err != nil {
+		t.Fatal(rs[0].Err)
+	}
+	if rs[0].Sim <= 0 {
+		t.Fatalf("measurement did not report simulated time: %+v", rs[0])
+	}
+	b := rs[0].Value.(aitax.Breakdown)
+	if b.N != 6 {
+		t.Fatalf("breakdown frames = %d", b.N)
+	}
+	var pe *aitax.LabPanicError
+	if !errors.As(rs[1].Err, &pe) {
+		t.Fatalf("panic not isolated: %v", rs[1].Err)
+	}
+}
+
+func TestRunAllExperimentsFacade(t *testing.T) {
+	// A cheap smoke of the facade: table1/table2 are static, so run
+	// just the first two experiments' worth of output through the full
+	// parallel path by comparing against direct sequential runs.
+	rs := aitax.RunAllExperiments(aitax.ExperimentConfig{Runs: 3}, 8)
+	if len(rs) != len(aitax.Experiments()) {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, e := range aitax.Experiments() {
+		if rs[i].ID != e.ID {
+			t.Fatalf("result %d = %s, want %s", i, rs[i].ID, e.ID)
+		}
 	}
 }
 

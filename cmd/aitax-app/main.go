@@ -23,7 +23,7 @@ func main() {
 	delegate := flag.String("delegate", "nnapi", "delegate: cpu | gpu | hexagon | nnapi")
 	frames := flag.Int("frames", 100, "measured frames")
 	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
-	seed := flag.Uint64("seed", 42, "random seed")
+	seed := flag.Uint64("seed", 42, "random seed (0 is a valid seed)")
 	bg := flag.Int("bg", 0, "background inference jobs (multi-tenancy)")
 	bgDelegate := flag.String("bgdelegate", "hexagon", "background delegate")
 	taxonomy := flag.Bool("taxonomy", false, "print the Fig. 1 AI-tax taxonomy and exit")
@@ -46,7 +46,7 @@ func main() {
 
 	opts := aitax.AppOptions{
 		Model: *model, DType: dt, Delegate: d,
-		Frames: *frames, Platform: p, Seed: *seed,
+		Frames: *frames, Platform: p, Seed: *seed, SeedSet: true,
 		BackgroundJobs: *bg, BackgroundDelegate: bgd,
 	}
 	perFrame, err := aitax.MeasureAppFrames(opts)

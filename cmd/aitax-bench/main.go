@@ -51,7 +51,7 @@ func main() {
 	delegate := flag.String("delegate", "cpu", "delegate: cpu | gpu | hexagon | nnapi")
 	runs := flag.Int("runs", 100, "measured iterations (paper: 500)")
 	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
-	seed := flag.Uint64("seed", 42, "random seed")
+	seed := flag.Uint64("seed", 42, "random seed (0 is a valid seed)")
 	list := flag.Bool("list", false, "list model names and exit")
 	stdlib := flag.String("stdlib", "libc++", "C++ standard library: libc++ | libstdc++ (flips random-gen cost, §IV-A)")
 	flag.Parse()
@@ -76,7 +76,7 @@ func main() {
 	}
 	samples, err := aitax.MeasureBenchmark(aitax.AppOptions{
 		Model: *model, DType: dt, Delegate: d,
-		Frames: *runs, Platform: p, Seed: *seed, StdLib: lib,
+		Frames: *runs, Platform: p, Seed: *seed, SeedSet: true, StdLib: lib,
 	})
 	check(err)
 

@@ -1,72 +1,129 @@
 // Command aitax-experiments regenerates the paper's tables and figures
 // on the simulated platform.
 //
+// Experiments are independent simulations, so they run concurrently on a
+// worker pool (-parallel, default GOMAXPROCS); results are merged back
+// in paper order, so output is byte-identical at any parallelism.
+//
 // Usage:
 //
-//	aitax-experiments                 # run everything
+//	aitax-experiments                 # run everything, GOMAXPROCS-wide
 //	aitax-experiments -run fig5       # one experiment
 //	aitax-experiments -list           # list experiment ids
+//	aitax-experiments -parallel 1     # strictly sequential
+//	aitax-experiments -runs 500 -parallel 8 -progress   # paper scale
 //	aitax-experiments -runs 100 -platform "Snapdragon 855" -seed 7
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"aitax"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id to run, or 'all'")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	runs := flag.Int("runs", 50, "iterations per configuration (paper: 500)")
-	format := flag.String("format", "text", "output format: text | markdown | csv")
-	platform := flag.String("platform", "Google Pixel 3", "platform name or chipset (Table II)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags in, rendered experiments out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aitax-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runIDs := fs.String("run", "all", "experiment id(s) to run, comma-separated, or 'all'")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	runs := fs.Int("runs", 50, "iterations per configuration (paper: 500)")
+	format := fs.String("format", "text", "output format: text | markdown | csv")
+	platform := fs.String("platform", "Google Pixel 3", "platform name or chipset (Table II)")
+	seed := fs.Uint64("seed", 42, "random seed (0 is a valid seed)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size; output is byte-identical at any value")
+	progress := fs.Bool("progress", false, "report per-experiment completion on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range aitax.Experiments() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	p, err := aitax.PlatformByName(*platform)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, Runs: *runs}
+	// SeedSet: the flag always carries an explicit value, so -seed 0
+	// really means seed 0.
+	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, SeedSet: true, Runs: *runs}
 
 	var selected []aitax.Experiment
-	if *run == "all" {
+	if *runIDs == "all" {
 		selected = aitax.Experiments()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, err := aitax.ExperimentByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			selected = append(selected, e)
 		}
 	}
 
 	if *format == "text" {
-		fmt.Printf("platform: %s (%s) | seed %d | %d runs/config\n\n", p.Name, p.Chipset, *seed, *runs)
+		fmt.Fprintf(stdout, "platform: %s (%s) | seed %d | %d runs/config\n\n",
+			p.Name, p.Chipset, *seed, *runs)
 	}
-	for _, e := range selected {
-		res := e.Run(cfg)
-		switch *format {
-		case "markdown":
-			fmt.Print(res.RenderMarkdown())
-		case "csv":
-			fmt.Print(res.RenderCSV())
-		default:
-			fmt.Println(res.Render())
+
+	jobs := make([]aitax.Job, len(selected))
+	for i, e := range selected {
+		e := e
+		jobs[i] = aitax.Job{
+			ID: e.ID,
+			Run: func(ctx context.Context) (any, error) {
+				return e.RunCtx(ctx, cfg)
+			},
 		}
 	}
+	l := &aitax.Lab{Parallelism: *parallel}
+	if *progress {
+		l.OnProgress = func(r aitax.JobResult) {
+			status := "done"
+			if r.Err != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(stderr, "%s %-20s wall %8.2fms\n",
+				status, r.ID, float64(r.Wall.Microseconds())/1000)
+		}
+	}
+
+	failures := 0
+	l.RunEmit(context.Background(), jobs, func(r aitax.JobResult) {
+		if r.Err != nil {
+			failures++
+			fmt.Fprintf(stderr, "%s: %v\n", r.ID, r.Err)
+			return
+		}
+		res := r.Value.(*aitax.ExperimentResult)
+		switch *format {
+		case "markdown":
+			fmt.Fprint(stdout, res.RenderMarkdown())
+		case "csv":
+			fmt.Fprint(stdout, res.RenderCSV())
+		default:
+			fmt.Fprintln(stdout, res.Render())
+		}
+	})
+	if failures > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestGoldenTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table1", "-runs", "5"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	want, err := os.ReadFile("testdata/table1_runs5.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output diverged from golden\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), string(want))
+	}
+}
+
+func TestParallelOutputByteIdentical(t *testing.T) {
+	// A mixed subset (static tables, app runs, bench-tool runs) rendered
+	// sequentially and 8-wide must be byte-for-byte identical.
+	render := func(parallel string) string {
+		var out, errb bytes.Buffer
+		args := []string{"-run", "table2,fig5,fig8,coldstart,post",
+			"-runs", "6", "-parallel", parallel}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("parallel %s: exit %d, stderr:\n%s", parallel, code, errb.String())
+		}
+		return out.String()
+	}
+	seq, par := render("1"), render("8")
+	if seq != par {
+		t.Fatalf("-parallel 8 diverged from -parallel 1\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "=== fig5") {
+		t.Fatalf("missing experiment in output:\n%s", seq)
+	}
+}
+
+func TestListAndErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if !strings.Contains(out.String(), "table1") || !strings.Contains(out.String(), "fig11") {
+		t.Fatalf("-list output:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-run", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown experiment exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr:\n%s", errb.String())
+	}
+}
+
+func TestProgressGoesToStderrOnly(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table2", "-runs", "3", "-progress"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "done table2") {
+		t.Fatalf("no progress on stderr:\n%s", errb.String())
+	}
+	if strings.Contains(out.String(), "done table2") {
+		t.Fatal("progress leaked into stdout")
+	}
+}

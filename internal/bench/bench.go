@@ -5,32 +5,47 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"aitax/internal/soc"
 )
 
-// Config parameterizes an experiment run.
+// DefaultSeed is the seed an unset Config gets. Every number in the
+// committed reference results was generated with it.
+const DefaultSeed uint64 = 42
+
+// Config parameterizes an experiment run. The zero value is usable:
+// every experiment calls Defaults before reading it.
 type Config struct {
 	// Platform defaults to the Google Pixel 3 (SD845), the platform the
 	// paper reports on.
 	Platform *soc.SoC
 	// Seed drives all stochastic behaviour; a fixed seed regenerates
-	// byte-identical results.
+	// byte-identical results. A zero Seed with SeedSet false selects
+	// DefaultSeed; set SeedSet to request seed 0 itself.
 	Seed uint64
+	// SeedSet marks Seed as explicit. Without it a zero Seed is
+	// indistinguishable from "unset" and is replaced by DefaultSeed.
+	SeedSet bool
 	// Runs is the per-configuration iteration count. The paper uses 500;
-	// smaller values trade precision for speed.
+	// smaller values trade precision for speed. Defaults to 50.
 	Runs int
 }
 
-// Defaults fills unset fields.
+// Defaults returns a copy with every unset field filled with its
+// documented default: the Pixel 3 platform, DefaultSeed (unless SeedSet
+// or a non-zero Seed marks the seed explicit), and 50 runs.
 func (c Config) Defaults() Config {
 	if c.Platform == nil {
 		c.Platform = soc.Pixel3()
 	}
-	if c.Seed == 0 {
-		c.Seed = 42
+	if !c.SeedSet {
+		if c.Seed == 0 {
+			c.Seed = DefaultSeed
+		}
+		c.SeedSet = true
 	}
 	if c.Runs == 0 {
 		c.Runs = 50
@@ -121,6 +136,18 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(Config) *Result
+}
+
+// RunCtx is Run under a context. Experiments are atomic units of
+// simulation, so cancellation is observed at experiment granularity: a
+// context cancelled before the experiment starts skips it, one
+// cancelled mid-run lets the experiment finish. The lab runner uses
+// this to drain a cancelled sweep quickly.
+func (e Experiment) RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(cfg), nil
 }
 
 // Experiments lists every experiment in paper order.

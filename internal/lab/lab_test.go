@@ -1,0 +1,212 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// staggeredJobs builds n jobs whose completion order under a concurrent
+// pool is scrambled (later jobs finish first) but whose values are pure
+// functions of their index.
+func staggeredJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			ID: fmt.Sprintf("job%02d", i),
+			Run: func(ctx context.Context) (any, error) {
+				// Earlier jobs sleep longer so completion order inverts.
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestResultsInSubmissionOrder(t *testing.T) {
+	jobs := staggeredJobs(12)
+	for _, par := range []int{1, 4, 12} {
+		l := &Lab{Parallelism: par}
+		rs := l.Run(context.Background(), jobs)
+		if len(rs) != 12 {
+			t.Fatalf("parallel %d: %d results", par, len(rs))
+		}
+		for i, r := range rs {
+			if r.Index != i || r.ID != fmt.Sprintf("job%02d", i) || r.Value != i*i {
+				t.Fatalf("parallel %d: result %d = %+v", par, i, r)
+			}
+			if r.Err != nil {
+				t.Fatalf("parallel %d: job %d failed: %v", par, i, r.Err)
+			}
+			if r.Wall <= 0 {
+				t.Fatalf("parallel %d: job %d has no wall-clock accounting", par, i)
+			}
+		}
+	}
+}
+
+func TestDeterministicMergeAcrossParallelism(t *testing.T) {
+	render := func(par int) string {
+		var b strings.Builder
+		l := &Lab{Parallelism: par}
+		l.RunEmit(context.Background(), staggeredJobs(10), func(r JobResult) {
+			fmt.Fprintf(&b, "%s=%v\n", r.ID, r.Value)
+		})
+		return b.String()
+	}
+	seq := render(1)
+	for _, par := range []int{2, 8} {
+		if got := render(par); got != seq {
+			t.Fatalf("parallel %d emitted\n%s\nwant (sequential)\n%s", par, got, seq)
+		}
+	}
+}
+
+func TestEmitOrderDespiteInvertedCompletion(t *testing.T) {
+	// Job 0 blocks until job 1 has finished, so completion order is
+	// provably 1 then 0 — emission must still be 0 then 1.
+	oneDone := make(chan struct{})
+	jobs := []Job{
+		{ID: "a", Run: func(ctx context.Context) (any, error) {
+			<-oneDone
+			return "a", nil
+		}},
+		{ID: "b", Run: func(ctx context.Context) (any, error) {
+			defer close(oneDone)
+			return "b", nil
+		}},
+	}
+	var emitted []string
+	var completed []string
+	l := &Lab{
+		Parallelism: 2,
+		OnProgress:  func(r JobResult) { completed = append(completed, r.ID) },
+	}
+	l.RunEmit(context.Background(), jobs, func(r JobResult) {
+		emitted = append(emitted, r.ID)
+	})
+	if got := strings.Join(completed, ","); got != "b,a" {
+		t.Fatalf("completion order = %s, want b,a", got)
+	}
+	if got := strings.Join(emitted, ","); got != "a,b" {
+		t.Fatalf("emit order = %s, want a,b", got)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job{
+		{ID: "ok1", Run: func(ctx context.Context) (any, error) { return 1, nil }},
+		{ID: "boom", Run: func(ctx context.Context) (any, error) { panic("kaboom") }},
+		{ID: "ok2", Run: func(ctx context.Context) (any, error) { return 2, nil }},
+	}
+	l := &Lab{Parallelism: 3}
+	rs := l.Run(context.Background(), jobs)
+	if rs[0].Err != nil || rs[0].Value != 1 || rs[2].Err != nil || rs[2].Value != 2 {
+		t.Fatalf("healthy jobs disturbed: %+v", rs)
+	}
+	var pe *PanicError
+	if !errors.As(rs[1].Err, &pe) {
+		t.Fatalf("panic err = %v, want *PanicError", rs[1].Err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not captured: %+v", pe)
+	}
+	if rs[1].Value != nil {
+		t.Fatalf("panicked job has a value: %v", rs[1].Value)
+	}
+	if !strings.Contains(rs[1].Err.Error(), "kaboom") {
+		t.Fatalf("error message hides panic: %v", rs[1].Err)
+	}
+}
+
+func TestNilRunIsAnErrorResultNotACrash(t *testing.T) {
+	l := &Lab{Parallelism: 1}
+	rs := l.Run(context.Background(), []Job{{ID: "nil"}})
+	var pe *PanicError
+	if !errors.As(rs[0].Err, &pe) {
+		t.Fatalf("nil Run err = %v, want *PanicError", rs[0].Err)
+	}
+}
+
+func TestCancellationSkipsUnstartedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			ID: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) (any, error) {
+				ran.Add(1)
+				if i == 0 {
+					cancel() // first job cancels the rest
+				}
+				return i, nil
+			},
+		}
+	}
+	l := &Lab{Parallelism: 1}
+	rs := l.Run(ctx, jobs)
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d jobs ran after cancellation, want 1", got)
+	}
+	if rs[0].Err != nil || rs[0].Value != 0 {
+		t.Fatalf("first job = %+v", rs[0])
+	}
+	for _, r := range rs[1:] {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("skipped job %s err = %v, want context.Canceled", r.ID, r.Err)
+		}
+	}
+}
+
+func TestErrorsPassThrough(t *testing.T) {
+	sentinel := errors.New("measurement failed")
+	l := &Lab{}
+	rs := l.Run(context.Background(), []Job{
+		{ID: "bad", Run: func(ctx context.Context) (any, error) { return nil, sentinel }},
+	})
+	if !errors.Is(rs[0].Err, sentinel) {
+		t.Fatalf("err = %v", rs[0].Err)
+	}
+}
+
+func TestReportSim(t *testing.T) {
+	l := &Lab{}
+	rs := l.Run(context.Background(), []Job{
+		{ID: "sim", Run: func(ctx context.Context) (any, error) {
+			ReportSim(ctx, 3*time.Millisecond)
+			ReportSim(ctx, 2*time.Millisecond)
+			return nil, nil
+		}},
+		{ID: "silent", Run: func(ctx context.Context) (any, error) { return nil, nil }},
+	})
+	if rs[0].Sim != 5*time.Millisecond {
+		t.Fatalf("sim time = %v, want 5ms", rs[0].Sim)
+	}
+	if rs[1].Sim != 0 {
+		t.Fatalf("silent job sim time = %v, want 0", rs[1].Sim)
+	}
+	// Outside a job, ReportSim must be a harmless no-op.
+	ReportSim(context.Background(), time.Second)
+}
+
+func TestZeroJobsAndDefaults(t *testing.T) {
+	l := &Lab{}
+	if rs := l.Run(nil, nil); len(rs) != 0 {
+		t.Fatalf("results = %v", rs)
+	}
+	if got := l.workers(100); got < 1 {
+		t.Fatalf("default workers = %d", got)
+	}
+	if got := (&Lab{Parallelism: 16}).workers(3); got != 3 {
+		t.Fatalf("workers capped = %d, want 3", got)
+	}
+}

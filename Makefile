@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench experiments validate results examples clean
+.PHONY: all build test test-norace vet bench experiments validate results examples trace-demo clean
 
 all: build test
 
@@ -42,5 +42,14 @@ results:
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d >/dev/null || exit 1; done; echo all examples ran
 
+# Smoke the whole telemetry path: traced run -> Chrome trace + metrics
+# + span log, then sanity-check the files exist and are non-empty.
+trace-demo:
+	$(GO) run ./cmd/aitax-trace -model MobileNetV1 -delegate hexagon -frames 20 \
+		-chrome trace_demo.json -metrics trace_demo.prom -jsonl trace_demo.jsonl
+	@for f in trace_demo.json trace_demo.prom trace_demo.jsonl; do \
+		test -s $$f || { echo "$$f missing or empty"; exit 1; }; done
+	@echo "trace-demo ok: open trace_demo.json in ui.perfetto.dev"
+
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt trace_demo.json trace_demo.prom trace_demo.jsonl

@@ -42,8 +42,10 @@ import (
 	"aitax/internal/sim"
 	"aitax/internal/snpe"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 	"aitax/internal/tflite"
+	"aitax/internal/trace"
 	"aitax/internal/workload"
 )
 
@@ -230,6 +232,57 @@ type (
 // context variants call it automatically.
 func ReportSimTime(ctx context.Context, d time.Duration) { lab.ReportSim(ctx, d) }
 
+// Telemetry (pipeline spans, deterministic metrics, Chrome trace).
+type (
+	// Span is one timed region of pipeline work on the virtual clock.
+	Span = telemetry.Span
+	// SpanFlow links two spans across tracks (a FastRPC or GPU
+	// dispatch crossing); Chrome traces render it as a flow arrow.
+	SpanFlow = telemetry.Flow
+	// SpanTrack is the hardware lane a span executes on.
+	SpanTrack = telemetry.Track
+	// SpanAttr is one key/value annotation on a span.
+	SpanAttr = telemetry.Attr
+	// Tracer records spans and flows against a virtual clock.
+	Tracer = telemetry.Tracer
+	// MetricsRegistry is a deterministic counter/gauge/histogram
+	// registry with exact quantiles and Prometheus/JSON export.
+	MetricsRegistry = telemetry.Registry
+	// TelemetryBundle carries one run's spans, flows and metrics.
+	TelemetryBundle = telemetry.Bundle
+	// ChromeTrace merges scheduler slices, pipeline spans and counter
+	// tracks into one Chrome/Perfetto trace-event file.
+	ChromeTrace = trace.ChromeRecorder
+)
+
+// Span track constants.
+const (
+	TrackCPU = telemetry.TrackCPU
+	TrackDSP = telemetry.TrackDSP
+	TrackGPU = telemetry.TrackGPU
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewChromeTrace creates an empty Chrome trace-event recorder.
+func NewChromeTrace() *ChromeTrace { return trace.NewChromeRecorder() }
+
+// MergeTelemetryBundles combines bundles deterministically in argument
+// order (span IDs re-based, counters summed, histograms concatenated).
+func MergeTelemetryBundles(bundles ...*TelemetryBundle) *TelemetryBundle {
+	return telemetry.MergeBundles(bundles...)
+}
+
+// ReportTelemetry attaches a telemetry bundle to the enclosing lab job;
+// outside a lab job it is a no-op. MeasureAppTracedCtx calls it
+// automatically.
+func ReportTelemetry(ctx context.Context, b *TelemetryBundle) { lab.ReportTelemetry(ctx, b) }
+
+// MergeJobTelemetry combines lab results' telemetry bundles in
+// submission order, so the aggregate is identical at any parallelism.
+func MergeJobTelemetry(results []JobResult) *TelemetryBundle { return lab.MergeTelemetry(results) }
+
 // DefaultSeed is the seed every measurement uses when none is set
 // explicitly (see AppOptions.SeedSet and ExperimentConfig.SeedSet).
 const DefaultSeed uint64 = bench.DefaultSeed
@@ -272,6 +325,13 @@ type AppOptions struct {
 	// (the application pipeline processes real frames, not random
 	// input).
 	StdLib StdLib
+	// ProbeOverhead models the instrumentation probe effect (§III-C) as
+	// a fractional compute-time inflation on accelerator targets; the
+	// paper measured 4–7%, i.e. 0.04–0.07. Zero (the default) disables
+	// the probe entirely; CPU targets are never wrapped either way.
+	// All calls; values outside [0, 0.25] and the NNAPI delegate
+	// (which owns its targets) are rejected at interpreter build time.
+	ProbeOverhead float64
 }
 
 // Defaults returns a copy of o with every unset field filled with its
@@ -343,7 +403,7 @@ func MeasureBenchmarkCtx(ctx context.Context, opts AppOptions) ([]RunSample, err
 		return nil, err
 	}
 	rt := tflite.NewStack(opts.Platform, opts.Seed)
-	ip, err := rt.NewInterpreter(m, opts.DType, tflite.Options{Delegate: opts.Delegate})
+	ip, err := rt.NewInterpreter(m, opts.DType, tflite.Options{Delegate: opts.Delegate, ProbeOverhead: opts.ProbeOverhead})
 	if err != nil {
 		return nil, err
 	}
@@ -368,25 +428,44 @@ func MeasureAppFrames(opts AppOptions) ([]FrameStats, error) {
 // simulated-time accounting), mirroring MeasureAppCtx.
 func MeasureAppFramesCtx(ctx context.Context, opts AppOptions) ([]FrameStats, error) {
 	if opts.StdLib != LibCXX {
-		return nil, fmt.Errorf("aitax: the application pipeline does not honour StdLib (it processes real frames, not generated random input); use MeasureBenchmark, or leave it unset")
+		return nil, errAppStdLib()
 	}
 	opts = opts.Defaults()
+	_, frames, err := measureFrames(ctx, opts, nil)
+	return frames, err
+}
+
+// errAppStdLib is the shared rejection for StdLib on app measurements.
+func errAppStdLib() error {
+	return fmt.Errorf("aitax: the application pipeline does not honour StdLib (it processes real frames, not generated random input); use MeasureBenchmark, or leave it unset")
+}
+
+// measureFrames is the shared engine behind MeasureAppFrames and
+// MeasureAppTraced: it builds the stack, lets setup (when non-nil)
+// enable telemetry on the fresh runtime before any pipeline component
+// exists, runs the app for opts.Frames measured frames, and returns
+// the runtime alongside the frames. opts must already be defaulted.
+func measureFrames(ctx context.Context, opts AppOptions, setup func(*tflite.Runtime)) (*tflite.Runtime, []app.FrameStats, error) {
 	m, err := models.ByName(opts.Model)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rt := tflite.NewStack(opts.Platform, opts.Seed)
+	if setup != nil {
+		setup(rt)
+	}
 	a, err := app.New(rt, app.Config{
 		Model: m, DType: opts.DType, Delegate: opts.Delegate, Streaming: true,
+		ProbeOverhead: opts.ProbeOverhead,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var bg *workload.Background
 	if opts.BackgroundJobs > 0 {
 		bg, err = workload.Start(rt, m, opts.DType, opts.BackgroundDelegate, opts.BackgroundJobs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	var frames []app.FrameStats
@@ -400,9 +479,76 @@ func MeasureAppFramesCtx(ctx context.Context, opts AppOptions) ([]FrameStats, er
 		})
 	})
 	if err := runEngine(ctx, rt.Eng); err != nil {
+		return nil, nil, err
+	}
+	return rt, frames, nil
+}
+
+// TraceRun is the full observability record of one traced app run: the
+// per-frame stage breakdowns plus the span tree, cross-track flows,
+// aggregated metrics and a ready-to-write Chrome trace.
+type TraceRun struct {
+	// Frames are the measured per-frame stage breakdowns (warmup
+	// already discarded), exactly as MeasureAppFrames would return.
+	Frames []FrameStats
+	// Spans is the run's complete span set; each frame's tree tiles its
+	// FrameStats boundaries exactly.
+	Spans []Span
+	// Flows are the cross-track links (FastRPC down/up, GPU dispatch).
+	Flows []SpanFlow
+	// Metrics aggregates the run's counters and stage histograms.
+	Metrics *MetricsRegistry
+	// Chrome holds scheduler slices, pipeline spans, flow arrows and
+	// accelerator-occupancy counter tracks, ready for WriteJSON.
+	Chrome *ChromeTrace
+	// Migrations and ContextSwitches are the scheduler's totals for the
+	// run (also recorded in Metrics).
+	Migrations      int
+	ContextSwitches int
+}
+
+// MeasureAppTraced is MeasureAppFrames with the telemetry layer
+// switched on: the same deterministic run (traced and untraced runs of
+// one seed produce identical FrameStats) additionally yields spans,
+// flows, metrics and a Chrome trace.
+func MeasureAppTraced(opts AppOptions) (*TraceRun, error) {
+	return MeasureAppTracedCtx(context.Background(), opts)
+}
+
+// MeasureAppTracedCtx is MeasureAppTraced with cancellation and lab
+// accounting: inside a lab job it reports both the simulated time and
+// the telemetry bundle, so merged aggregates are parallelism-independent.
+func MeasureAppTracedCtx(ctx context.Context, opts AppOptions) (*TraceRun, error) {
+	if opts.StdLib != LibCXX {
+		return nil, errAppStdLib()
+	}
+	opts = opts.Defaults()
+	chrome := trace.NewChromeRecorder()
+	rt, frames, err := measureFrames(ctx, opts, func(rt *tflite.Runtime) {
+		rt.Tracer = telemetry.NewTracer(rt.Eng.Now)
+		rt.Metrics = telemetry.NewRegistry()
+		chrome.Attach(rt.Sch)
+	})
+	if err != nil {
 		return nil, err
 	}
-	return frames, nil
+	mig, sw := rt.Sch.Migrations(), rt.Sch.Switches()
+	rt.Metrics.Add("aitax_sched_migrations_total", float64(mig))
+	rt.Metrics.Add("aitax_sched_context_switches_total", float64(sw))
+	spans, flows := rt.Tracer.Spans(), rt.Tracer.Flows()
+	chrome.AddTelemetry(spans, flows)
+	chrome.AddSpanOccupancy("dsp in flight", spans, telemetry.TrackDSP)
+	chrome.AddSpanOccupancy("gpu in flight", spans, telemetry.TrackGPU)
+	lab.ReportTelemetry(ctx, &telemetry.Bundle{Spans: spans, Flows: flows, Registry: rt.Metrics})
+	return &TraceRun{
+		Frames:          frames,
+		Spans:           spans,
+		Flows:           flows,
+		Metrics:         rt.Metrics,
+		Chrome:          chrome,
+		Migrations:      mig,
+		ContextSwitches: sw,
+	}, nil
 }
 
 // runEngine drains the simulation engine, checking ctx between event

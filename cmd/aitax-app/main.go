@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,6 +29,8 @@ func main() {
 	bgDelegate := flag.String("bgdelegate", "hexagon", "background delegate")
 	taxonomy := flag.Bool("taxonomy", false, "print the Fig. 1 AI-tax taxonomy and exit")
 	csvPath := flag.String("csv", "", "write per-frame stage breakdowns to this CSV file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
+	metricsPath := flag.String("metrics", "", "write Prometheus-style metrics of the run to this path")
 	flag.Parse()
 
 	if *taxonomy {
@@ -49,8 +52,27 @@ func main() {
 		Frames: *frames, Platform: p, Seed: *seed, SeedSet: true,
 		BackgroundJobs: *bg, BackgroundDelegate: bgd,
 	}
-	perFrame, err := aitax.MeasureAppFrames(opts)
-	check(err)
+	// Tracing never perturbs the run: with -trace/-metrics set, the
+	// frames (and thus all stdout) are identical to an untraced run —
+	// only the side files and stderr notes are added.
+	var perFrame []aitax.FrameStats
+	if *tracePath != "" || *metricsPath != "" {
+		tr, err := aitax.MeasureAppTraced(opts)
+		check(err)
+		perFrame = tr.Frames
+		if *tracePath != "" {
+			writeTo(*tracePath, tr.Chrome.WriteJSON)
+			fmt.Fprintf(os.Stderr, "chrome trace written to %s\n", *tracePath)
+		}
+		if *metricsPath != "" {
+			writeTo(*metricsPath, tr.Metrics.WritePrometheus)
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsPath)
+		}
+	} else {
+		var err error
+		perFrame, err = aitax.MeasureAppFrames(opts)
+		check(err)
+	}
 	breakdown := aitax.TaxBreakdown(perFrame)
 
 	fmt.Printf("application: model=%q dtype=%s delegate=%s platform=%q background=%d\n",
@@ -73,6 +95,17 @@ func main() {
 }
 
 func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeTo creates path and streams write into it, exiting on error.
+func writeTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	check(err)
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	check(err)
+}
 
 func parseDType(s string) (aitax.DType, error) {
 	switch s {

@@ -23,8 +23,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"aitax"
+	"aitax/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +46,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size; output is byte-identical at any value")
 	progress := fs.Bool("progress", false, "report per-experiment completion on stderr")
+	tracePath := fs.String("trace", "",
+		"write the merged telemetry of all jobs as Chrome trace-event JSON to this path")
+	metricsPath := fs.String("metrics", "",
+		"write merged run metrics (Prometheus text) to this path; identical at any -parallel")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -106,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failures := 0
-	l.RunEmit(context.Background(), jobs, func(r aitax.JobResult) {
+	results := l.RunEmit(context.Background(), jobs, func(r aitax.JobResult) {
 		if r.Err != nil {
 			failures++
 			fmt.Fprintf(stderr, "%s: %v\n", r.ID, r.Err)
@@ -122,8 +128,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, res.Render())
 		}
 	})
+	if *tracePath != "" || *metricsPath != "" {
+		if err := exportTelemetry(results, *tracePath, *metricsPath, stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	if failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// exportTelemetry merges the jobs' telemetry bundles in submission order
+// and folds in the harness's own accounting — all on virtual time, so
+// both files are byte-identical at any -parallel value.
+func exportTelemetry(results []aitax.JobResult, tracePath, metricsPath string, stderr io.Writer) error {
+	bundle := aitax.MergeJobTelemetry(results)
+	reg := bundle.Registry
+	if reg == nil {
+		reg = aitax.NewMetricsRegistry()
+	}
+	for _, r := range results {
+		reg.Inc("aitax_experiments_total")
+		if r.Err != nil {
+			reg.Inc("aitax_experiment_failures_total")
+			continue
+		}
+		reg.Observe(telemetry.Labeled("aitax_experiment_sim_ms", "id", r.ID),
+			float64(r.Sim)/float64(time.Millisecond))
+	}
+	if metricsPath != "" {
+		if err := writeTo(metricsPath, reg.WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "metrics written to %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		chrome := aitax.NewChromeTrace()
+		chrome.AddTelemetry(bundle.Spans, bundle.Flows)
+		if err := writeTo(tracePath, chrome.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "chrome trace written to %s\n", tracePath)
+	}
+	return nil
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,55 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	if !strings.Contains(seq, "=== fig5") {
 		t.Fatalf("missing experiment in output:\n%s", seq)
 	}
+}
+
+func TestTelemetryFlagsLeaveStdoutIdenticalAndMergeDeterministically(t *testing.T) {
+	// The telemetry flags must be strictly additive: stdout with
+	// -trace/-metrics set is byte-identical to stdout without them, and
+	// the exported files are byte-identical at any -parallel value.
+	base := []string{"-run", "table2,fig5,post", "-runs", "4"}
+	render := func(extra ...string) (string, string, string) {
+		dir := t.TempDir()
+		trace := filepath.Join(dir, "t.json")
+		prom := filepath.Join(dir, "m.prom")
+		var out, errb bytes.Buffer
+		args := append(append([]string{}, base...), extra...)
+		args = append(args, "-trace", trace, "-metrics", prom)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+		}
+		return out.String(), readFile(t, trace), readFile(t, prom)
+	}
+
+	var plain bytes.Buffer
+	if code := run(base, &plain, &bytes.Buffer{}); code != 0 {
+		t.Fatal("plain run failed")
+	}
+	outSeq, traceSeq, promSeq := render("-parallel", "1")
+	outPar, tracePar, promPar := render("-parallel", "8")
+	if outSeq != plain.String() || outPar != plain.String() {
+		t.Fatal("-trace/-metrics changed stdout")
+	}
+	if traceSeq != tracePar {
+		t.Fatal("trace file depends on -parallel")
+	}
+	if promSeq != promPar {
+		t.Fatal("metrics file depends on -parallel")
+	}
+	for _, want := range []string{"aitax_experiments_total 3", `aitax_experiment_sim_ms_count{id="fig5"} 1`} {
+		if !strings.Contains(promSeq, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, promSeq)
+		}
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 func TestListAndErrors(t *testing.T) {

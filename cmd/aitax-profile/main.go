@@ -5,31 +5,44 @@
 // Usage:
 //
 //	aitax-profile -model "EfficientNet-Lite0" -dtype int8 -delegate nnapi
+//	aitax-profile -delegate hexagon -chrome out.json -metrics out.prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"aitax"
 	"aitax/internal/models"
 	"aitax/internal/sim"
+	"aitax/internal/telemetry"
 	"aitax/internal/tflite"
 	"aitax/internal/trace"
 )
 
 func main() {
-	model := flag.String("model", "EfficientNet-Lite0", "Table-I model name")
-	dtype := flag.String("dtype", "int8", "precision: fp32 | int8")
-	delegate := flag.String("delegate", "nnapi", "delegate: cpu | gpu | hexagon | nnapi")
-	horizonMS := flag.Int("horizon", 600, "profile window in virtual milliseconds")
-	bucketMS := flag.Float64("bucket", 2, "timeline bucket in milliseconds")
-	platform := flag.String("platform", "Google Pixel 3", "platform (Table II)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	chromeOut := flag.String("chrome", "", "also write a chrome://tracing JSON file to this path")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags in, rendered timeline out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aitax-profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "EfficientNet-Lite0", "Table-I model name")
+	dtype := fs.String("dtype", "int8", "precision: fp32 | int8")
+	delegate := fs.String("delegate", "nnapi", "delegate: cpu | gpu | hexagon | nnapi")
+	horizonMS := fs.Int("horizon", 600, "profile window in virtual milliseconds")
+	bucketMS := fs.Float64("bucket", 2, "timeline bucket in milliseconds")
+	platform := fs.String("platform", "Google Pixel 3", "platform (Table II)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	chromeOut := fs.String("chrome", "", "also write a chrome://tracing JSON file to this path")
+	metricsOut := fs.String("metrics", "", "write Prometheus-style metrics of the window to this path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	dt := aitax.Float32
 	if *dtype == "int8" || *dtype == "uint8" || *dtype == "quant" {
@@ -46,16 +59,29 @@ func main() {
 	case "nnapi":
 		d = aitax.DelegateNNAPI
 	default:
-		fmt.Fprintf(os.Stderr, "unknown delegate %q\n", *delegate)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown delegate %q\n", *delegate)
+		return 1
 	}
 
 	p, err := aitax.PlatformByName(*platform)
-	check(err)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	m, err := models.ByName(*model)
-	check(err)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 
 	rt := tflite.NewStack(p, *seed)
+	// Telemetry is nil-safe and perturbation-free, so it is switched on
+	// only when an export asks for it; the timeline itself is identical
+	// either way.
+	if *chromeOut != "" || *metricsOut != "" {
+		rt.Tracer = telemetry.NewTracer(rt.Eng.Now)
+		rt.Metrics = telemetry.NewRegistry()
+	}
 	prof := trace.NewProfiler(rt.Eng, time.Duration(*bucketMS*float64(time.Millisecond)))
 	prof.Attach(rt.Sch)
 	var chrome *trace.ChromeRecorder
@@ -67,7 +93,10 @@ func main() {
 	prof.TrackResource("gpu", rt.GPUQueue)
 
 	ip, err := rt.NewInterpreter(m, dt, tflite.Options{Delegate: d})
-	check(err)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 
 	horizon := time.Duration(*horizonMS) * time.Millisecond
 	invocations := 0
@@ -87,23 +116,41 @@ func main() {
 	})
 	rt.Eng.RunUntil(sim.Time(0).Add(horizon))
 
-	fmt.Printf("profile: model=%q dtype=%s delegate=%s platform=%q window=%v\n",
+	fmt.Fprintf(stdout, "profile: model=%q dtype=%s delegate=%s platform=%q window=%v\n",
 		*model, dt, d, p.Name, horizon)
-	fmt.Printf("completed invocations in window: %d\n\n", invocations)
-	fmt.Print(prof.Render())
+	fmt.Fprintf(stdout, "completed invocations in window: %d\n\n", invocations)
+	fmt.Fprint(stdout, prof.Render())
 
 	if chrome != nil {
-		f, err := os.Create(*chromeOut)
-		check(err)
-		defer f.Close()
-		check(chrome.WriteJSON(f))
-		fmt.Printf("\nchrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+		spans, flows := rt.Tracer.Spans(), rt.Tracer.Flows()
+		chrome.AddTelemetry(spans, flows)
+		chrome.AddSpanOccupancy("dsp in flight", spans, telemetry.TrackDSP)
+		chrome.AddSpanOccupancy("gpu in flight", spans, telemetry.TrackGPU)
+		if err := writeTo(*chromeOut, chrome.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
 	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, rt.Metrics.WritePrometheus); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "metrics written to %s\n", *metricsOut)
+	}
+	return 0
 }
 
-func check(err error) {
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

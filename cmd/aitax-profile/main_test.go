@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGoldenTimeline(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-horizon", "150"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	want, err := os.ReadFile("testdata/effnet_nnapi_h150.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("timeline diverged from golden\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), string(want))
+	}
+}
+
+func TestGoldenChromeTraceAndUnperturbedTimeline(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "c.json")
+	prom := filepath.Join(dir, "m.prom")
+	base := []string{"-model", "MobileNetV1", "-delegate", "hexagon", "-horizon", "120"}
+
+	var plain bytes.Buffer
+	if code := run(base, &plain, &bytes.Buffer{}); code != 0 {
+		t.Fatal("plain run failed")
+	}
+	var out, errb bytes.Buffer
+	args := append(append([]string{}, base...), "-chrome", chrome, "-metrics", prom)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	// Switching the exports on must not change the rendered timeline.
+	if out.String() != plain.String() {
+		t.Fatalf("-chrome/-metrics perturbed the timeline\n--- plain ---\n%s\n--- traced ---\n%s",
+			plain.String(), out.String())
+	}
+
+	got, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/mobilenet_hexagon_h120_chrome.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chrome trace diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("golden chrome trace is not valid JSON: %v", err)
+	}
+	var flows int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "s" || e.Ph == "f" {
+			flows++
+		}
+	}
+	if flows == 0 {
+		t.Fatal("no FastRPC flow events in hexagon trace")
+	}
+
+	promText, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aitax_invocations_total", "aitax_fastrpc_exec_ms_p50"} {
+		if !bytes.Contains(promText, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, promText)
+		}
+	}
+}
+
+func TestProfileBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-delegate", "npu"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown delegate exit = %d, want 1", code)
+	}
+	if code := run([]string{"-model", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown model exit = %d, want 1", code)
+	}
+}

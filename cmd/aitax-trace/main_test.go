@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceRunDeterministicSummary(t *testing.T) {
+	render := func() string {
+		var out, errb bytes.Buffer
+		args := []string{"-model", "MobileNetV1", "-delegate", "hexagon", "-frames", "5"}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+		}
+		return out.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("summary not deterministic\n--- 1 ---\n%s\n--- 2 ---\n%s", first, second)
+	}
+	for _, want := range []string{"stage", "capture", "inference", "total", "fastrpc:", "flows"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("summary missing %q:\n%s", want, first)
+		}
+	}
+}
+
+func TestTraceExportsFiles(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "out.json")
+	prom := filepath.Join(dir, "out.prom")
+	jsonl := filepath.Join(dir, "spans.jsonl")
+	var out, errb bytes.Buffer
+	args := []string{"-model", "MobileNetV1", "-delegate", "hexagon", "-frames", "5",
+		"-chrome", chrome, "-metrics", prom, "-jsonl", jsonl}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	// The chrome file must be valid JSON with sched slices, pipeline
+	// spans on both tracks, and paired flow events.
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+			TID int    `json:"tid"`
+			ID  int64  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	starts, finishes := map[int64]bool{}, map[int64]bool{}
+	var schedSlices, dspSpans, counters int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.PID == 0:
+			schedSlices++
+		case e.Ph == "X" && e.PID == 1 && e.TID == 1:
+			dspSpans++
+		case e.Ph == "s":
+			starts[e.ID] = true
+		case e.Ph == "f":
+			finishes[e.ID] = true
+		case e.Ph == "C":
+			counters++
+		}
+	}
+	if schedSlices == 0 || dspSpans == 0 || counters == 0 {
+		t.Fatalf("trace incomplete: %d sched slices, %d dsp spans, %d counter samples",
+			schedSlices, dspSpans, counters)
+	}
+	if len(starts) == 0 {
+		t.Fatal("no flow events")
+	}
+	for id := range starts {
+		if !finishes[id] {
+			t.Fatalf("flow %d has no finish event", id)
+		}
+	}
+
+	// The metrics file must carry per-stage exact quantiles.
+	promText, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`aitax_stage_ms_p50{stage="inference"}`,
+		`aitax_stage_ms_p90{stage="total"}`,
+		`aitax_stage_ms_p99{stage="capture"}`,
+		"aitax_fastrpc_calls_total",
+	} {
+		if !strings.Contains(string(promText), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, promText)
+		}
+	}
+
+	// The span log is one JSON object per line.
+	lines := bytes.Split(bytes.TrimSpace(mustRead(t, jsonl)), []byte("\n"))
+	if len(lines) < 5 {
+		t.Fatalf("span log has %d lines", len(lines))
+	}
+	for _, ln := range lines {
+		var row map[string]any
+		if err := json.Unmarshal(ln, &row); err != nil {
+			t.Fatalf("bad JSONL row %q: %v", ln, err)
+		}
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTraceBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-delegate", "npu"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown delegate exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown delegate") {
+		t.Fatalf("stderr:\n%s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-model", "no-such-model"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown model exit = %d, want 1", code)
+	}
+}

@@ -11,6 +11,7 @@ package app
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"aitax/internal/capture"
@@ -19,6 +20,7 @@ import (
 	"aitax/internal/postproc"
 	"aitax/internal/sched"
 	"aitax/internal/sim"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 	"aitax/internal/tflite"
 	"aitax/internal/work"
@@ -53,6 +55,10 @@ type Config struct {
 	// pays the RPC transport and the stage now contends with any
 	// inference sharing the DSP.
 	PreOnDSP bool
+	// ProbeOverhead enables driver instrumentation on accelerator
+	// inference at the given fractional cost (the paper's 4-7% probe
+	// effect; zero disables). Passed through to the interpreter.
+	ProbeOverhead float64
 }
 
 // FrameStats is the per-frame stage breakdown an instrumented app
@@ -104,8 +110,9 @@ func New(rt *tflite.Runtime, cfg Config) (*App, error) {
 		return nil, fmt.Errorf("app: config needs a model")
 	}
 	ip, err := rt.NewInterpreter(cfg.Model, cfg.DType, tflite.Options{
-		Delegate: cfg.Delegate,
-		Threads:  cfg.Threads,
+		Delegate:      cfg.Delegate,
+		Threads:       cfg.Threads,
+		ProbeOverhead: cfg.ProbeOverhead,
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +139,8 @@ func New(rt *tflite.Runtime, cfg Config) (*App, error) {
 	}
 	if cfg.PreOnDSP {
 		a.preRPC = fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
+		a.preRPC.Tracer = rt.Tracer
+		a.preRPC.Metrics = rt.Metrics
 	}
 	return a, nil
 }
@@ -202,58 +211,78 @@ func (a *App) startStream() {
 func (a *App) StopStream() { a.streaming = false }
 
 // ProcessFrame runs one capture→pre→infer→post→render cycle and reports
-// the stage breakdown.
+// the stage breakdown. With the runtime's Tracer set, the cycle yields a
+// span tree — a "frame" root whose capture/pre/inference/post/ui
+// children tile it exactly at the FrameStats boundaries, with the
+// framework and driver layers nesting beneath "inference".
 func (a *App) ProcessFrame(done func(FrameStats)) {
 	var st FrameStats
 	start := a.rt.Eng.Now()
 	a.frames++
 	frameNo := a.frames
+	tr := a.rt.Tracer
+	frame := tr.Start("frame", "app", telemetry.TrackCPU, nil)
+	frame.SetAttr("frame", strconv.Itoa(frameNo))
 
 	if a.ip.Model.Pre.Tokenize {
-		a.processText(&st, start, frameNo, done)
+		a.processText(&st, start, frameNo, frame, done)
 		return
 	}
 
 	// 1. Data capture: sensor delivery plus bitmap formatting on the
 	// camera thread. Pose-style apps additionally fuse the IMU's
 	// orientation stream (§II-A) to decide the rotation step.
+	capSpan := tr.Start("capture", "capture", telemetry.TrackCPU, frame)
 	a.cam.Capture(func(f *capture.Frame) {
 		spec := a.ip.Model.PreSpec(a.ip.DType)
 		afterFusion := func() {
 			conv := a.stageDuration(a.cam.ConversionWork(), false)
 			a.camThread.Exec(conv, func() {
 				st.Capture = a.rt.Eng.Now().Sub(start)
+				capSpan.End()
 
 				// 2. Pre-processing: on its own thread, or offloaded
 				// to the DSP through FastRPC (FastCV-style).
 				preW := spec.Work(a.cam.Width, a.cam.Height)
 				preStart := a.rt.Eng.Now()
-				a.runPre(preW, spec.Native, func() {
+				preSpan := tr.Start("pre", "preproc", telemetry.TrackCPU, frame)
+				a.runPre(preW, spec.Native, preSpan, func() {
 					st.Pre = a.rt.Eng.Now().Sub(preStart)
+					preSpan.End()
 
 					// 3. Inference through the delegate.
 					invStart := a.rt.Eng.Now()
-					a.ip.Invoke(func(tflite.Report) {
+					infSpan := tr.Start("inference", "app", telemetry.TrackCPU, frame)
+					a.ip.InvokeTraced(infSpan, func(tflite.Report) {
 						st.Inference = a.rt.Eng.Now().Sub(invStart)
+						infSpan.End()
 
 						// 4. Post-processing.
 						postStart := a.rt.Eng.Now()
+						postSpan := tr.Start("post", "postproc", telemetry.TrackCPU, frame)
 						postW := a.ip.Model.PostWork(a.ip.DType)
 						a.postThread.Exec(a.stageDuration(postW, true), func() {
 							if a.cfg.RealPostprocess {
 								a.runRealPostprocess()
 							}
 							st.Post = a.rt.Eng.Now().Sub(postStart)
+							postSpan.End()
 
 							// 5. UI render (+ occasional GC pause).
 							uiStart := a.rt.Eng.Now()
+							uiSpan := tr.Start("ui", "app", telemetry.TrackCPU, frame)
 							ui := a.rt.RNG.Jitter(a.UIBase, a.UIJitterCV)
 							if a.GCPeriod > 0 && frameNo%a.GCPeriod == 0 {
 								ui += a.GCPause
+								uiSpan.SetAttr("gc", "1")
+								a.rt.Metrics.Inc("aitax_gc_pauses_total")
 							}
 							a.uiThread.Exec(ui, func() {
 								st.UI = a.rt.Eng.Now().Sub(uiStart)
+								uiSpan.End()
 								st.Total = a.rt.Eng.Now().Sub(start)
+								frame.End()
+								a.recordFrame(st)
 								if done != nil {
 									done(st)
 								}
@@ -276,38 +305,74 @@ func (a *App) ProcessFrame(done func(FrameStats)) {
 	})
 }
 
+// recordFrame aggregates one frame's stage breakdown into the runtime's
+// metrics registry (no-op with metrics off).
+func (a *App) recordFrame(st FrameStats) {
+	m := a.rt.Metrics
+	if m == nil {
+		return
+	}
+	m.Inc("aitax_frames_total")
+	for _, s := range []struct {
+		stage string
+		d     time.Duration
+	}{
+		{"capture", st.Capture}, {"pre", st.Pre}, {"inference", st.Inference},
+		{"post", st.Post}, {"ui", st.UI}, {"total", st.Total},
+	} {
+		m.Observe(telemetry.Labeled("aitax_stage_ms", "stage", s.stage),
+			float64(s.d)/float64(time.Millisecond))
+	}
+	m.Observe("aitax_frame_tax_ms", float64(st.Tax())/float64(time.Millisecond))
+}
+
 // processText is the language-app variant of a frame: fetching the
 // input text (IME/clipboard, negligible) replaces camera capture, and
 // tokenization is the pre-processing stage.
-func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, done func(FrameStats)) {
+func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, frame *telemetry.ActiveSpan, done func(FrameStats)) {
+	tr := a.rt.Tracer
 	// "Capture": obtaining the text input.
+	capSpan := tr.Start("capture", "capture", telemetry.TrackCPU, frame)
 	a.preThread.Exec(a.rt.RNG.Jitter(200*time.Microsecond, 0.2), func() {
 		st.Capture = a.rt.Eng.Now().Sub(start)
+		capSpan.End()
 
 		spec := a.ip.Model.PreSpec(a.ip.DType)
 		preStart := a.rt.Eng.Now()
+		preSpan := tr.Start("pre", "preproc", telemetry.TrackCPU, frame)
 		a.preThread.Exec(a.stageDuration(spec.Work(0, 0), false), func() {
 			st.Pre = a.rt.Eng.Now().Sub(preStart)
+			preSpan.End()
 
 			invStart := a.rt.Eng.Now()
-			a.ip.Invoke(func(tflite.Report) {
+			infSpan := tr.Start("inference", "app", telemetry.TrackCPU, frame)
+			a.ip.InvokeTraced(infSpan, func(tflite.Report) {
 				st.Inference = a.rt.Eng.Now().Sub(invStart)
+				infSpan.End()
 
 				postStart := a.rt.Eng.Now()
+				postSpan := tr.Start("post", "postproc", telemetry.TrackCPU, frame)
 				a.postThread.Exec(a.stageDuration(a.ip.Model.PostWork(a.ip.DType), true), func() {
 					if a.cfg.RealPostprocess {
 						a.runRealPostprocess()
 					}
 					st.Post = a.rt.Eng.Now().Sub(postStart)
+					postSpan.End()
 
 					uiStart := a.rt.Eng.Now()
+					uiSpan := tr.Start("ui", "app", telemetry.TrackCPU, frame)
 					ui := a.rt.RNG.Jitter(a.UIBase, a.UIJitterCV)
 					if a.GCPeriod > 0 && frameNo%a.GCPeriod == 0 {
 						ui += a.GCPause
+						uiSpan.SetAttr("gc", "1")
+						a.rt.Metrics.Inc("aitax_gc_pauses_total")
 					}
 					a.uiThread.Exec(ui, func() {
 						st.UI = a.rt.Eng.Now().Sub(uiStart)
+						uiSpan.End()
 						st.Total = a.rt.Eng.Now().Sub(start)
+						frame.End()
+						a.recordFrame(*st)
 						if done != nil {
 							done(*st)
 						}
@@ -323,7 +388,7 @@ func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, done func
 // PreOnDSP is set. DSP vector units chew through pixel math at a rate
 // managed code cannot approach, but the stage then queues behind any
 // inference tenant of the same DSP.
-func (a *App) runPre(w work.Work, native bool, done func()) {
+func (a *App) runPre(w work.Work, native bool, parent *telemetry.ActiveSpan, done func()) {
 	if a.preRPC == nil {
 		a.preThread.Exec(a.stageDuration(w, native), done)
 		return
@@ -331,7 +396,7 @@ func (a *App) runPre(w work.Work, native bool, done func()) {
 	w.Vectorizable = true // HVX path
 	exec := a.rt.Platform.DSP.TimeFor(w, a.ip.DType)
 	payload := int64(a.cam.FrameBytes())
-	a.preRPC.Invoke(payload, exec, func(fastrpc.Breakdown) { done() })
+	a.preRPC.InvokeSpan(payload, exec, parent, "pre-dsp", func(fastrpc.Breakdown) { done() })
 }
 
 // runRealPostprocess executes the genuine algorithms on fabricated

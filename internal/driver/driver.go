@@ -19,6 +19,7 @@ import (
 	"aitax/internal/sched"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 )
 
@@ -61,6 +62,24 @@ type Target interface {
 	Execute(ops []*nn.Op, dt tensor.DType, done func(Result))
 }
 
+// SpanExecutor is implemented by targets that can attribute their
+// execution to a telemetry span tree. ExecuteSpan behaves exactly like
+// Execute (a nil parent is always valid) but parents any spans the
+// target emits under parent.
+type SpanExecutor interface {
+	ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result))
+}
+
+// ExecuteSpan dispatches through a target's SpanExecutor when it has
+// one, falling back to plain Execute otherwise.
+func ExecuteSpan(t Target, ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
+	if se, ok := t.(SpanExecutor); ok {
+		se.ExecuteSpan(ops, dt, parent, done)
+		return
+	}
+	t.Execute(ops, dt, done)
+}
+
 // segmentWork sums the device time of a segment at 1/efficiency.
 func segmentTime(ops []*nn.Op, dt tensor.DType, dev *soc.Device, efficiency float64) time.Duration {
 	var total time.Duration
@@ -97,6 +116,8 @@ type CPUTarget struct {
 	PerOpOverhead time.Duration
 	// Efficiency derates the device's effective rate (driver quality).
 	Efficiency float64
+	// Tracer, when set, wraps each segment in a span. Nil disables.
+	Tracer *telemetry.Tracer
 }
 
 // NewCPUTarget creates a CPU delegate with nThreads worker threads.
@@ -157,12 +178,21 @@ func parallelEfficiency(n int) float64 {
 // split across the worker threads, so background CPU load stretches the
 // segment via scheduler contention (the Fig. 10 effect).
 func (t *CPUTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	t.ExecuteSpan(ops, dt, nil, done)
+}
+
+// ExecuteSpan implements SpanExecutor: the whole segment becomes one
+// "cpu-exec" span on the CPU track.
+func (t *CPUTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
+	sp := t.Tracer.Start("cpu-exec", "driver", telemetry.TrackCPU, parent)
+	sp.SetAttr("target", t.name)
 	n := len(t.threads)
 	eff := parallelEfficiency(n) * t.Efficiency
 	var res Result
 	var runOp func(i int)
 	runOp = func(i int) {
 		if i >= len(ops) {
+			sp.End()
 			if done != nil {
 				done(res)
 			}
@@ -201,7 +231,10 @@ type GPUTarget struct {
 	KernelLaunch time.Duration
 	// Efficiency derates the device rate (shader-compiler quality).
 	Efficiency float64
-	supports   func(op *nn.Op, dt tensor.DType) bool
+	// Tracer, when set, records dispatch and GPU execution spans. Nil
+	// disables.
+	Tracer   *telemetry.Tracer
+	supports func(op *nn.Op, dt tensor.DType) bool
 }
 
 // NewGPUTarget creates a GPU delegate over a shared GPU queue resource.
@@ -236,12 +269,23 @@ func (t *GPUTarget) Supports(op *nn.Op, dt tensor.DType) bool { return t.support
 
 // Execute implements Target.
 func (t *GPUTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	t.ExecuteSpan(ops, dt, nil, done)
+}
+
+// ExecuteSpan implements SpanExecutor: the buffer map/unmap becomes a
+// "gpu-dispatch" span on the CPU track linked to a "gpu-exec" span on
+// the GPU track.
+func (t *GPUTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
 	compute := segmentTime(ops, dt, t.dev, t.Efficiency)
 	launches := time.Duration(len(ops)) * t.KernelLaunch
 	hold := compute + launches
+	t0 := t.eng.Now()
 	t.eng.After(t.DispatchOverhead, func() {
 		enqueued := t.eng.Now()
+		disp := t.Tracer.Emit("gpu-dispatch", "driver", telemetry.TrackCPU, parent, t0, enqueued)
 		t.queue.Acquire(hold, func(start, end sim.Time) {
+			exec := t.Tracer.Emit("gpu-exec", "driver", telemetry.TrackGPU, parent, start, end)
+			t.Tracer.Link("gpu", disp, exec)
 			if done != nil {
 				done(Result{
 					Compute:  compute,
@@ -302,7 +346,7 @@ func (t *DSPTarget) InitGraph(ops []*nn.Op, dt tensor.DType, done func(Result)) 
 	}
 	hold := time.Duration(float64(weights)/t.dev.MemBytesPerSec*float64(time.Second)) +
 		time.Duration(len(ops))*120*time.Microsecond
-	t.channel.Invoke(weights, hold, func(b fastrpc.Breakdown) {
+	t.channel.InvokeSpan(weights, hold, nil, "graph-init", func(b fastrpc.Breakdown) {
 		if done != nil {
 			done(Result{Compute: b.Exec, Overhead: b.Setup + b.Transport, Queue: b.Queue})
 		}
@@ -317,9 +361,15 @@ type GraphIniter interface {
 
 // Execute implements Target.
 func (t *DSPTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
+	t.ExecuteSpan(ops, dt, nil, done)
+}
+
+// ExecuteSpan implements SpanExecutor: the FastRPC channel records the
+// rpc-down / infer / rpc-up sub-spans and their CPU↔DSP flow links.
+func (t *DSPTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
 	compute := segmentTime(ops, dt, t.dev, t.Efficiency)
 	payload := segmentIOBytes(ops, dt)
-	t.channel.Invoke(payload, compute, func(b fastrpc.Breakdown) {
+	t.channel.InvokeSpan(payload, compute, parent, "infer", func(b fastrpc.Breakdown) {
 		if done != nil {
 			done(Result{
 				Compute:  b.Exec,

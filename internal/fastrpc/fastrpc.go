@@ -11,6 +11,7 @@ import (
 
 	"aitax/internal/sim"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 )
 
 // Breakdown itemizes where one offloaded call spent its time.
@@ -43,6 +44,14 @@ type Channel struct {
 	state   int // 0 = cold, 1 = setting up, 2 = ready
 	waiters []func()
 
+	// Tracer, when set, records each call's sub-steps (rpc-down, the DSP
+	// execution, rpc-up) as spans with CPU↔DSP flow links. Nil disables
+	// tracing at zero cost.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, aggregates per-call transport/queue/exec
+	// latencies. Nil disables collection at zero cost.
+	Metrics *telemetry.Registry
+
 	// Accounting.
 	calls          int
 	setupPaid      bool
@@ -72,13 +81,24 @@ func (c *Channel) Calls() int { return c.calls }
 // breakdown. The first call on a cold channel pays the session setup —
 // the cold-start penalty of §IV-C.
 func (c *Channel) Invoke(payloadBytes int64, execTime time.Duration, onDone func(Breakdown)) {
+	c.InvokeSpan(payloadBytes, execTime, nil, "dsp-exec", onDone)
+}
+
+// InvokeSpan is Invoke with telemetry context: parent (may be nil)
+// becomes the parent of the call's spans, and label names the on-DSP
+// execution span ("infer" for inference, "pre-dsp" for offloaded
+// pre-processing, "graph-init" for weight download).
+func (c *Channel) InvokeSpan(payloadBytes int64, execTime time.Duration, parent *telemetry.ActiveSpan, label string, onDone func(Breakdown)) {
 	if execTime < 0 || payloadBytes < 0 {
 		panic("fastrpc: negative invoke arguments")
 	}
 	issued := c.eng.Now()
 	start := func() {
 		setupShare := c.eng.Now().Sub(issued)
-		c.invokeWarm(payloadBytes, execTime, setupShare, onDone)
+		if setupShare > 0 {
+			c.Tracer.Emit("rpc-setup", "fastrpc", telemetry.TrackCPU, parent, issued, c.eng.Now())
+		}
+		c.invokeWarm(payloadBytes, execTime, setupShare, parent, label, onDone)
 	}
 	switch c.state {
 	case stateReady:
@@ -100,22 +120,32 @@ func (c *Channel) Invoke(payloadBytes int64, execTime time.Duration, onDone func
 	}
 }
 
-func (c *Channel) invokeWarm(payloadBytes int64, execTime time.Duration, setupShare time.Duration, onDone func(Breakdown)) {
+func (c *Channel) invokeWarm(payloadBytes int64, execTime time.Duration, setupShare time.Duration, parent *telemetry.ActiveSpan, label string, onDone func(Breakdown)) {
 	// Outbound: user→kernel crossing ×2 (submit + driver signal), cache
 	// flush for the payload, DSP wakeup.
 	kb := (payloadBytes + 1023) / 1024
-	outbound := 2*c.params.KernelCrossing +
-		time.Duration(kb)*c.params.CacheFlushPerKB +
-		c.params.DSPWakeup
+	flush := time.Duration(kb) * c.params.CacheFlushPerKB
+	outbound := 2*c.params.KernelCrossing + flush + c.params.DSPWakeup
 	inbound := 2 * c.params.KernelCrossing // completion signal + return
 
+	t0 := c.eng.Now()
 	c.eng.After(outbound, func() {
 		enqueued := c.eng.Now()
+		down := c.Tracer.Emit("rpc-down", "fastrpc", telemetry.TrackCPU, parent, t0, enqueued)
 		c.dsp.Acquire(execTime, func(start, end sim.Time) {
 			queue := start.Sub(enqueued)
+			exec := c.Tracer.Emit(label, "fastrpc", telemetry.TrackDSP, parent, start, end)
+			c.Tracer.Link("fastrpc", down, exec)
 			c.eng.After(inbound, func() {
+				up := c.Tracer.Emit("rpc-up", "fastrpc", telemetry.TrackCPU, parent, end, c.eng.Now())
+				c.Tracer.Link("fastrpc", exec, up)
 				c.calls++
 				c.transportTotal += outbound + inbound
+				c.Metrics.Inc("aitax_fastrpc_calls_total")
+				c.Metrics.Observe("aitax_fastrpc_transport_ms", float64(outbound+inbound)/float64(time.Millisecond))
+				c.Metrics.Observe("aitax_fastrpc_queue_ms", float64(queue)/float64(time.Millisecond))
+				c.Metrics.Observe("aitax_fastrpc_exec_ms", float64(execTime)/float64(time.Millisecond))
+				c.Metrics.Observe("aitax_fastrpc_cache_flush_ms", float64(flush)/float64(time.Millisecond))
 				if onDone != nil {
 					onDone(Breakdown{
 						Setup:     setupShare,

@@ -6,6 +6,7 @@ import (
 
 	"aitax/internal/sim"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 )
 
 func newChannel() (*sim.Engine, *Channel) {
@@ -154,5 +155,79 @@ func TestBreakdownTotal(t *testing.T) {
 	b := Breakdown{Setup: 1, Transport: 2, Queue: 3, Exec: 4}
 	if b.Total() != 10 {
 		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestInvokeSpanRecordsFlowLinkedSpans(t *testing.T) {
+	eng := sim.NewEngine()
+	dsp := sim.NewResource(eng, "dsp", 1)
+	ch := NewChannel(eng, soc.Pixel3().RPC, dsp)
+	ch.Tracer = telemetry.NewTracer(eng.Now)
+	ch.Metrics = telemetry.NewRegistry()
+
+	var bd Breakdown
+	ch.InvokeSpan(64*1024, 5*time.Millisecond, nil, "infer", func(b Breakdown) { bd = b })
+	eng.Run()
+
+	spans := ch.Tracer.Spans()
+	byName := map[string]telemetry.Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	setup, ok := byName["rpc-setup"]
+	if !ok || setup.Duration() != bd.Setup {
+		t.Fatalf("rpc-setup span = %+v, want duration %v", setup, bd.Setup)
+	}
+	down, ok := byName["rpc-down"]
+	if !ok || down.Track != telemetry.TrackCPU {
+		t.Fatalf("rpc-down span = %+v", down)
+	}
+	exec, ok := byName["infer"]
+	if !ok || exec.Track != telemetry.TrackDSP || exec.Duration() != bd.Exec {
+		t.Fatalf("infer span = %+v, want exec %v", exec, bd.Exec)
+	}
+	up, ok := byName["rpc-up"]
+	if !ok || up.Track != telemetry.TrackCPU {
+		t.Fatalf("rpc-up span = %+v", up)
+	}
+	if got := down.Duration() + up.Duration(); got != bd.Transport {
+		t.Fatalf("down+up = %v, breakdown transport = %v", got, bd.Transport)
+	}
+	flows := ch.Tracer.Flows()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d, want 2 (down→exec, exec→up)", len(flows))
+	}
+	if flows[0].From != down.ID || flows[0].To != exec.ID {
+		t.Fatalf("first flow = %+v", flows[0])
+	}
+	if flows[1].From != exec.ID || flows[1].To != up.ID {
+		t.Fatalf("second flow = %+v", flows[1])
+	}
+	if ch.Metrics.Counter("aitax_fastrpc_calls_total") != 1 {
+		t.Fatal("call counter not incremented")
+	}
+	if ch.Metrics.Count("aitax_fastrpc_exec_ms") != 1 {
+		t.Fatal("exec histogram not observed")
+	}
+}
+
+func TestInvokeWithoutTelemetryUnchanged(t *testing.T) {
+	run := func(traced bool) (sim.Time, Breakdown) {
+		eng := sim.NewEngine()
+		dsp := sim.NewResource(eng, "dsp", 1)
+		ch := NewChannel(eng, soc.Pixel3().RPC, dsp)
+		if traced {
+			ch.Tracer = telemetry.NewTracer(eng.Now)
+			ch.Metrics = telemetry.NewRegistry()
+		}
+		var bd Breakdown
+		ch.Invoke(128*1024, 3*time.Millisecond, func(b Breakdown) { bd = b })
+		eng.Run()
+		return eng.Now(), bd
+	}
+	plainEnd, plainBD := run(false)
+	tracedEnd, tracedBD := run(true)
+	if plainEnd != tracedEnd || plainBD != tracedBD {
+		t.Fatalf("tracing perturbed the run: %v/%v vs %v/%v", plainEnd, plainBD, tracedEnd, tracedBD)
 	}
 }

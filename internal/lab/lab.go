@@ -25,6 +25,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"aitax/internal/telemetry"
 )
 
 // Job is one unit of measurement work. Jobs must be independent of each
@@ -56,6 +58,9 @@ type JobResult struct {
 	// Sim is the simulated virtual time the job reported via ReportSim
 	// (zero if the job never reported).
 	Sim time.Duration
+	// Telemetry is the span/metrics bundle the job reported via
+	// ReportTelemetry (nil if the job never reported).
+	Telemetry *telemetry.Bundle
 }
 
 // PanicError is the error recorded when a job panics. The panic is
@@ -88,6 +93,45 @@ func ReportSim(ctx context.Context, d time.Duration) {
 	acc.mu.Lock()
 	acc.d += d
 	acc.mu.Unlock()
+}
+
+// telemetryAccount holds a job's reported telemetry bundle.
+type telemetryAccount struct {
+	mu sync.Mutex
+	b  *telemetry.Bundle
+}
+
+type telemetryKey struct{}
+
+// ReportTelemetry attaches a telemetry bundle to the job whose context
+// ctx is; later reports within the same job merge after earlier ones.
+// Outside a lab job it is a no-op, so measurement code can report
+// unconditionally.
+func ReportTelemetry(ctx context.Context, b *telemetry.Bundle) {
+	acc, ok := ctx.Value(telemetryKey{}).(*telemetryAccount)
+	if !ok || b == nil {
+		return
+	}
+	acc.mu.Lock()
+	if acc.b == nil {
+		acc.b = b
+	} else {
+		acc.b = telemetry.MergeBundles(acc.b, b)
+	}
+	acc.mu.Unlock()
+}
+
+// MergeTelemetry combines the results' telemetry bundles in submission
+// (Index) order — the same deterministic merge RunEmit applies to
+// output, so aggregated spans and metrics are identical at any
+// parallelism. Results without telemetry are skipped; with none at all
+// it returns an empty bundle.
+func MergeTelemetry(results []JobResult) *telemetry.Bundle {
+	bundles := make([]*telemetry.Bundle, len(results))
+	for i, r := range results {
+		bundles[i] = r.Telemetry
+	}
+	return telemetry.MergeBundles(bundles...)
 }
 
 // Lab runs jobs across a bounded worker pool. The zero value is ready to
@@ -187,13 +231,17 @@ func (l *Lab) runOne(ctx context.Context, j Job, i int) (res JobResult) {
 		return res
 	}
 	acc := &simAccount{}
-	jctx := context.WithValue(ctx, simKey{}, acc)
+	tel := &telemetryAccount{}
+	jctx := context.WithValue(context.WithValue(ctx, simKey{}, acc), telemetryKey{}, tel)
 	start := time.Now()
 	defer func() {
 		res.Wall = time.Since(start)
 		acc.mu.Lock()
 		res.Sim = acc.d
 		acc.mu.Unlock()
+		tel.mu.Lock()
+		res.Telemetry = tel.b
+		tel.mu.Unlock()
 		if r := recover(); r != nil {
 			res.Value = nil
 			res.Err = &PanicError{Value: r, Stack: debug.Stack()}

@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,6 +9,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"aitax/internal/sim"
+	"aitax/internal/telemetry"
 )
 
 // staggeredJobs builds n jobs whose completion order under a concurrent
@@ -209,4 +213,54 @@ func TestZeroJobsAndDefaults(t *testing.T) {
 	if got := (&Lab{Parallelism: 16}).workers(3); got != 3 {
 		t.Fatalf("workers capped = %d, want 3", got)
 	}
+}
+
+func TestReportTelemetryAndMerge(t *testing.T) {
+	mkJob := func(id string, calls float64) Job {
+		return Job{ID: id, Run: func(ctx context.Context) (any, error) {
+			eng := sim.NewEngine()
+			tr := telemetry.NewTracer(eng.Now)
+			sp := tr.Start(id, "test", telemetry.TrackCPU, nil)
+			sp.End()
+			reg := telemetry.NewRegistry()
+			reg.Add("calls_total", calls)
+			reg.Observe("lat_ms", calls)
+			ReportTelemetry(ctx, &telemetry.Bundle{Spans: tr.Spans(), Registry: reg})
+			return id, nil
+		}}
+	}
+	jobs := []Job{mkJob("a", 1), mkJob("b", 2), mkJob("c", 3)}
+
+	merged := func(parallelism int) *telemetry.Bundle {
+		l := &Lab{Parallelism: parallelism}
+		return MergeTelemetry(l.Run(context.Background(), jobs))
+	}
+	seq, par := merged(1), merged(8)
+	if len(seq.Spans) != 3 || len(par.Spans) != 3 {
+		t.Fatalf("merged spans = %d/%d, want 3", len(seq.Spans), len(par.Spans))
+	}
+	// Submission-order merge: span order must match job order at any
+	// parallelism.
+	for i, want := range []string{"a", "b", "c"} {
+		if seq.Spans[i].Name != want || par.Spans[i].Name != want {
+			t.Fatalf("span %d = %q/%q, want %q", i, seq.Spans[i].Name, par.Spans[i].Name, want)
+		}
+	}
+	var w1, w2 bytes.Buffer
+	if err := seq.Registry.WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Registry.WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatal("metrics merge depends on parallelism")
+	}
+	if seq.Registry.Counter("calls_total") != 6 {
+		t.Fatalf("merged counter = %v", seq.Registry.Counter("calls_total"))
+	}
+}
+
+func TestReportTelemetryOutsideJobIsNoOp(t *testing.T) {
+	ReportTelemetry(context.Background(), &telemetry.Bundle{Registry: telemetry.NewRegistry()})
 }

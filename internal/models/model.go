@@ -170,11 +170,56 @@ func All() []*Model {
 	}
 }
 
-// ByName finds a model in the zoo by its Table-I name.
+// normalize reduces a model name to its lowercase alphanumerics, so
+// lookups tolerate case, spacing and punctuation differences
+// ("MobileNetV1", "mobilenet-1.0-v1").
+func normalize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+('a'-'A'))
+		}
+	}
+	return string(out)
+}
+
+// aliases maps normalized shorthand names to canonical Table-I names,
+// covering the common ways the paper and tooling abbreviate them.
+var aliases = map[string]string{
+	"mobilenet":        "MobileNet 1.0 v1",
+	"mobilenetv1":      "MobileNet 1.0 v1",
+	"nasnet":           "NasNet Mobile",
+	"efficientnet":     "EfficientNet-Lite0",
+	"efficientnetlite": "EfficientNet-Lite0",
+	"deeplab":          "Deeplab-v3 MobileNet-v2",
+	"deeplabv3":        "Deeplab-v3 MobileNet-v2",
+	"ssdmobilenet":     "SSD MobileNet v2",
+	"bert":             "Mobile BERT",
+}
+
+// ByName finds a model in the zoo by its Table-I name. Exact names win;
+// otherwise the lookup falls back to a normalized comparison (case,
+// spacing and punctuation insensitive) and a small alias table, so
+// "MobileNetV1" resolves to "MobileNet 1.0 v1".
 func ByName(name string) (*Model, error) {
-	for _, m := range All() {
+	all := All()
+	for _, m := range all {
 		if m.Name == name {
 			return m, nil
+		}
+	}
+	want := normalize(name)
+	if canon, ok := aliases[want]; ok {
+		want = normalize(canon)
+	}
+	if want != "" {
+		for _, m := range all {
+			if normalize(m.Name) == want {
+				return m, nil
+			}
 		}
 	}
 	return nil, fmt.Errorf("models: unknown model %q", name)

@@ -212,6 +212,36 @@ func TestByName(t *testing.T) {
 	}
 }
 
+func TestByNameAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{
+		"MobileNetV1":          "MobileNet 1.0 v1",
+		"mobilenet-1.0-v1":     "MobileNet 1.0 v1",
+		"mobile bert":          "Mobile BERT",
+		"bert":                 "Mobile BERT",
+		"efficientnet-lite0":   "EfficientNet-Lite0",
+		"DeepLabV3":            "Deeplab-v3 MobileNet-v2",
+		"ssd_mobilenet_v2":     "SSD MobileNet v2",
+		"Inception V3":         "Inception v3",
+		"nasnet":               "NasNet Mobile",
+		"deeplabv3mobilenetv2": "Deeplab-v3 MobileNet-v2",
+	} {
+		m, err := ByName(alias)
+		if err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+		if m.Name != canonical {
+			t.Fatalf("alias %q resolved to %q, want %q", alias, m.Name, canonical)
+		}
+	}
+	// Normalization must not make distinct models collide or admit junk.
+	if _, err := ByName("inception"); err == nil {
+		t.Fatal("ambiguous bare 'inception' accepted")
+	}
+	if _, err := ByName("!!!"); err == nil {
+		t.Fatal("punctuation-only name accepted")
+	}
+}
+
 func TestNames(t *testing.T) {
 	names := Names()
 	if len(names) != 11 || names[0] != "MobileNet 1.0 v1" || names[10] != "Mobile BERT" {

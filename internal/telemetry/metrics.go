@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultBuckets are the fixed histogram bucket upper bounds, in the
+// unit the metric is observed in (milliseconds for every latency metric
+// in this repository). Fixed buckets keep exported bucket rows stable
+// across runs; exact percentiles come from the retained observations,
+// not from bucket interpolation.
+var DefaultBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
+}
+
+// histogram is a fixed-bucket histogram that also retains every
+// observation in insertion order, so quantiles are exact and merges are
+// deterministic.
+type histogram struct {
+	counts []int64 // per DefaultBuckets bound, plus a final +Inf bucket
+	values []float64
+	sum    float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(DefaultBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.values = append(h.values, v)
+	h.sum += v
+	for i, ub := range DefaultBuckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(DefaultBuckets)]++
+}
+
+// quantile returns the exact nearest-rank q-quantile (q in [0,1]).
+func (h *histogram) quantile(q float64) float64 {
+	n := len(h.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, h.values)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// Registry is a deterministic metrics store: counters, gauges, and
+// fixed-bucket histograms with exact percentiles. Metric keys are full
+// series names, labels included — use Labeled to build them. All
+// methods are safe on a nil *Registry (they no-op / return zero), so
+// instrumented code records unconditionally. The registry is safe for
+// concurrent use; determinism of the *contents* comes from the callers
+// (single-threaded simulations, and the lab's submission-order merge).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Labeled builds a labelled series name: Labeled("x_ms", "stage",
+// "pre") → `x_ms{stage="pre"}`. Pairs are rendered in argument order,
+// keeping series names deterministic.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: Labeled needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// spliceLabel inserts an extra label into a (possibly already labelled)
+// series key, and optionally a suffix onto its base name.
+func spliceLabel(key, suffix, k, v string) string {
+	base, labels := key, ""
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		base, labels = key[:i], key[i+1:len(key)-1]
+	}
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels != "" {
+		labels += "," + extra
+	} else {
+		labels = extra
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+// baseName returns the series name without labels.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Add increments a counter by v.
+func (r *Registry) Add(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += v
+	r.mu.Unlock()
+}
+
+// Inc increments a counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Set records a gauge value (last write wins).
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records one histogram observation.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Counter returns a counter's value (0 when absent or on nil).
+func (r *Registry) Counter(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge returns a gauge's value (0 when absent or on nil).
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Count returns a histogram's observation count.
+func (r *Registry) Count(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return 0
+	}
+	return int64(len(h.values))
+}
+
+// Quantile returns the exact nearest-rank quantile of a histogram
+// (0 when absent or empty).
+func (r *Registry) Quantile(name string, q float64) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return 0
+	}
+	return h.quantile(q)
+}
+
+// HistogramNames returns the histogram series names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeysH(r.hists)
+}
+
+// Merge folds other into r: counters add, gauges take other's value,
+// histograms concatenate observations in other's insertion order.
+// Merging the same registries in the same order always reproduces the
+// same state — the lab merges per-job registries in submission order to
+// keep sweep aggregates parallelism-independent.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range sortedKeysF(other.counters) {
+		r.counters[k] += other.counters[k]
+	}
+	for _, k := range sortedKeysF(other.gauges) {
+		r.gauges[k] = other.gauges[k]
+	}
+	for _, k := range sortedKeysH(other.hists) {
+		oh := other.hists[k]
+		h := r.hists[k]
+		if h == nil {
+			h = newHistogram()
+			r.hists[k] = h
+		}
+		h.values = append(h.values, oh.values...)
+		h.sum += oh.sum
+		for i := range oh.counts {
+			h.counts[i] += oh.counts[i]
+		}
+	}
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysH(m map[string]*histogram) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// formatFloat renders a metric value with the shortest exact
+// representation, matching Prometheus text-format conventions.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,271 @@
+// Package telemetry is the end-to-end observability layer: hierarchical
+// pipeline spans on virtual time and a deterministic metrics registry.
+//
+// The paper's core argument (§III) is that the AI tax only becomes
+// visible when the *whole* pipeline is observed — capture,
+// pre-processing, framework scheduling, FastRPC offload, inference,
+// post-processing — not just the kernel. This package supplies that
+// observation layer for the simulated stack: every instrumented frame
+// yields a span tree matching the Table-III stage taxonomy, FastRPC
+// crossings carry flow links between the CPU and DSP tracks, and the
+// registry aggregates per-stage latency distributions with exact
+// percentiles (no wall-clock, no sampling randomness — runs regenerate
+// byte-identically).
+//
+// Telemetry is zero-cost when off: every method is safe on a nil
+// *Tracer / nil *Registry and does nothing, so pipeline code
+// instruments unconditionally. A tracer never schedules simulation
+// events or consumes random numbers, so enabling it cannot perturb a
+// run — traced and untraced measurements of the same seed are
+// identical.
+package telemetry
+
+import (
+	"time"
+
+	"aitax/internal/sim"
+)
+
+// Track is the timeline a span is drawn on, matching the processor the
+// work ran on. Chrome-trace export maps each track to its own thread row.
+type Track int
+
+// Tracks.
+const (
+	// TrackCPU carries the application pipeline and CPU-side framework
+	// and transport work.
+	TrackCPU Track = iota
+	// TrackDSP carries Hexagon DSP execution (behind FastRPC).
+	TrackDSP
+	// TrackGPU carries GPU delegate execution.
+	TrackGPU
+)
+
+// String names the track.
+func (t Track) String() string {
+	switch t {
+	case TrackDSP:
+		return "dsp"
+	case TrackGPU:
+		return "gpu"
+	default:
+		return "cpu"
+	}
+}
+
+// Attr is one span attribute. A slice (not a map) keeps attribute order
+// deterministic in every export.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one completed (or still-open) pipeline interval in virtual
+// time. IDs are sequential per tracer, starting at 1; Parent 0 means a
+// root span. A Span whose End precedes its Start is still open and is
+// treated as zero-length by exports.
+type Span struct {
+	ID     int64
+	Parent int64
+	// Name is the stage ("capture", "pre", "framework", "rpc-down",
+	// "infer", "rpc-up", "post", "ui", ...).
+	Name string
+	// Component is the subsystem that emitted the span ("app",
+	// "capture", "preproc", "tflite", "fastrpc", "driver", ...).
+	Component string
+	Track     Track
+	Start     sim.Time
+	End       sim.Time
+	Attrs     []Attr
+}
+
+// Duration returns the span length (zero while the span is open).
+func (s Span) Duration() time.Duration {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Attr returns the value of the named attribute, or "".
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Flow is a causal link between two spans on (usually) different
+// tracks — a FastRPC crossing from the CPU into the DSP and back.
+// Chrome-trace export renders flows as connecting arrows.
+type Flow struct {
+	ID   int64
+	Name string
+	// From and To are span IDs; the arrow is drawn from the end of From
+	// to the start of To.
+	From, To int64
+}
+
+// ActiveSpan is a live handle on a recorded span. A nil *ActiveSpan is
+// valid everywhere one is accepted (it marks "tracing off" or "no
+// parent") and every method on it is a no-op.
+type ActiveSpan struct {
+	t   *Tracer
+	idx int
+}
+
+// Tracer records spans against a virtual clock. The zero value is not
+// usable; construct with NewTracer. A nil *Tracer is a valid "tracing
+// disabled" tracer: every method no-ops and returns nil handles.
+type Tracer struct {
+	clock func() sim.Time
+	spans []Span
+	flows []Flow
+}
+
+// NewTracer creates a tracer reading virtual time from clock (typically
+// an engine's Now method value).
+func NewTracer(clock func() sim.Time) *Tracer {
+	if clock == nil {
+		panic("telemetry: NewTracer needs a clock")
+	}
+	return &Tracer{clock: clock}
+}
+
+// Start opens a span at the current virtual time. parent may be nil for
+// a root span. On a nil tracer it returns nil.
+func (t *Tracer) Start(name, component string, track Track, parent *ActiveSpan) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := t.clock()
+	return t.record(name, component, track, parent, now, now.Add(-1))
+}
+
+// Emit records a fully-formed span for an interval whose boundaries are
+// already known (FastRPC reconstructs its sub-steps this way). start
+// must not follow end. On a nil tracer it returns nil.
+func (t *Tracer) Emit(name, component string, track Track, parent *ActiveSpan, start, end sim.Time) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	if end < start {
+		panic("telemetry: Emit with end before start")
+	}
+	return t.record(name, component, track, parent, start, end)
+}
+
+func (t *Tracer) record(name, component string, track Track, parent *ActiveSpan, start, end sim.Time) *ActiveSpan {
+	var pid int64
+	if parent != nil && parent.t == t {
+		pid = t.spans[parent.idx].ID
+	}
+	t.spans = append(t.spans, Span{
+		ID:        int64(len(t.spans) + 1),
+		Parent:    pid,
+		Name:      name,
+		Component: component,
+		Track:     track,
+		Start:     start,
+		End:       end,
+	})
+	return &ActiveSpan{t: t, idx: len(t.spans) - 1}
+}
+
+// End closes the span at the current virtual time. No-op on nil.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.t.spans[a.idx].End = a.t.clock()
+}
+
+// SetAttr attaches an attribute. No-op on nil.
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	sp := &a.t.spans[a.idx]
+	for i := range sp.Attrs {
+		if sp.Attrs[i].Key == key {
+			sp.Attrs[i].Value = value
+			return
+		}
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+}
+
+// SpanID returns the underlying span's ID (0 on nil).
+func (a *ActiveSpan) SpanID() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.t.spans[a.idx].ID
+}
+
+// Link records a flow from the end of span from to the start of span
+// to. Nil handles (tracing off, or an un-traced endpoint) are ignored.
+func (t *Tracer) Link(name string, from, to *ActiveSpan) {
+	if t == nil || from == nil || to == nil {
+		return
+	}
+	t.flows = append(t.flows, Flow{
+		ID:   int64(len(t.flows) + 1),
+		Name: name,
+		From: from.t.spans[from.idx].ID,
+		To:   to.t.spans[to.idx].ID,
+	})
+}
+
+// Spans returns a copy of the recorded spans in emission order. Spans
+// still open have End before Start; exports treat them as zero-length.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Flows returns a copy of the recorded flow links in emission order.
+func (t *Tracer) Flows() []Flow {
+	if t == nil {
+		return nil
+	}
+	out := make([]Flow, len(t.flows))
+	copy(out, t.flows)
+	return out
+}
+
+// Len reports the number of recorded spans (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Roots returns the spans with no parent, in emission order.
+func Roots(spans []Span) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.Parent == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Children returns the direct children of the span with the given ID,
+// in emission order (ID 0 selects the roots).
+func Children(spans []Span, parent int64) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.Parent == parent {
+			out = append(out, s)
+		}
+	}
+	return out
+}

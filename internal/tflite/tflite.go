@@ -19,7 +19,9 @@ import (
 	"aitax/internal/sim"
 	"aitax/internal/snpe"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
+	"aitax/internal/trace"
 	"aitax/internal/work"
 )
 
@@ -60,6 +62,15 @@ type Runtime struct {
 	DSP      *sim.Resource
 	GPUQueue *sim.Resource
 	RNG      *sim.RNG
+
+	// Tracer, when set, threads span recording through every framework,
+	// driver and FastRPC layer built from this runtime. Nil (the
+	// default) disables tracing at zero cost and leaves runs
+	// byte-identical to untraced ones.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, aggregates counters and latency histograms from
+	// the same layers. Nil disables collection.
+	Metrics *telemetry.Registry
 }
 
 // NewRuntime creates a runtime on a fresh platform.
@@ -82,28 +93,44 @@ func NewStack(platform *soc.SoC, seed uint64) *Runtime {
 	return NewRuntime(eng, sch, platform, seed)
 }
 
+// newChannel creates a FastRPC channel wired to the runtime's telemetry.
+func (rt *Runtime) newChannel() *fastrpc.Channel {
+	ch := fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
+	ch.Tracer = rt.Tracer
+	ch.Metrics = rt.Metrics
+	return ch
+}
+
 // NewNNAPI builds this process's NNAPI framework instance over the
 // shared accelerators.
 func (rt *Runtime) NewNNAPI() *nnapi.Framework {
 	p := rt.Platform
-	ch := fastrpc.NewChannel(rt.Eng, p.RPC, rt.DSP)
+	gpu := driver.NewGPUTarget("nnapi-gpu", rt.Eng, &p.GPU, rt.GPUQueue, driver.NNAPIVendorSupports)
+	gpu.Tracer = rt.Tracer
+	cpu := driver.NewCPUTarget("nnapi-cpu-fallback", rt.Sch, &p.Big, 4)
+	cpu.Tracer = rt.Tracer
+	ref := driver.NewReferenceCPUTarget("nnapi-ref", rt.Sch, &p.Big)
+	ref.Tracer = rt.Tracer
 	return nnapi.New(nnapi.Config{
 		Engine:       rt.Eng,
-		AccelFP32:    driver.NewGPUTarget("nnapi-gpu", rt.Eng, &p.GPU, rt.GPUQueue, driver.NNAPIVendorSupports),
-		AccelInt8:    driver.NewDSPTarget("nnapi-dsp", &p.DSP, ch, 0.6, driver.NNAPIVendorSupports),
-		FallbackCPU:  driver.NewCPUTarget("nnapi-cpu-fallback", rt.Sch, &p.Big, 4),
-		ReferenceCPU: driver.NewReferenceCPUTarget("nnapi-ref", rt.Sch, &p.Big),
+		AccelFP32:    gpu,
+		AccelInt8:    driver.NewDSPTarget("nnapi-dsp", &p.DSP, rt.newChannel(), 0.6, driver.NNAPIVendorSupports),
+		FallbackCPU:  cpu,
+		ReferenceCPU: ref,
 	})
 }
 
 // NewSNPE builds this process's SNPE SDK instance.
 func (rt *Runtime) NewSNPE() *snpe.SDK {
 	p := rt.Platform
-	ch := fastrpc.NewChannel(rt.Eng, p.RPC, rt.DSP)
+	cpu := driver.NewCPUTarget("snpe-cpu", rt.Sch, &p.Big, 4)
+	cpu.Tracer = rt.Tracer
+	gpu := driver.NewGPUTarget("snpe-gpu", rt.Eng, &p.GPU, rt.GPUQueue, driver.SNPESupports)
+	gpu.Tracer = rt.Tracer
 	return &snpe.SDK{
-		CPU: driver.NewCPUTarget("snpe-cpu", rt.Sch, &p.Big, 4),
-		GPU: driver.NewGPUTarget("snpe-gpu", rt.Eng, &p.GPU, rt.GPUQueue, driver.SNPESupports),
-		DSP: driver.NewDSPTarget("snpe-dsp", &p.DSP, ch, 0.95, driver.SNPESupports),
+		CPU: cpu,
+		GPU: gpu,
+		DSP: driver.NewDSPTarget("snpe-dsp", &p.DSP, rt.newChannel(), 0.95, driver.SNPESupports),
 	}
 }
 
@@ -126,6 +153,11 @@ type Options struct {
 	// default), ~1.7x faster at reduced numeric precision. Off by
 	// default to match the paper's full-precision configuration.
 	GPUAllowFP16 bool
+	// ProbeOverhead, when positive, wraps accelerator segments with the
+	// driver-instrumentation probe at this fractional compute cost (the
+	// paper measures 4-7%, i.e. 0.04-0.07; §III-D). CPU segments are
+	// never wrapped, matching the paper. Zero disables instrumentation.
+	ProbeOverhead float64
 }
 
 // Report describes one inference invocation.
@@ -180,6 +212,12 @@ func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options
 	if opts.Delegate == DelegateHexagon && !quant {
 		return nil, fmt.Errorf("tflite: the Hexagon delegate requires a quantized model")
 	}
+	if opts.ProbeOverhead < 0 || opts.ProbeOverhead > 0.25 {
+		return nil, fmt.Errorf("tflite: ProbeOverhead %v outside [0, 0.25]", opts.ProbeOverhead)
+	}
+	if opts.ProbeOverhead != 0 && opts.Delegate == DelegateNNAPI {
+		return nil, fmt.Errorf("tflite: ProbeOverhead is ignored by the NNAPI delegate (it owns its targets); leave it zero")
+	}
 	if opts.Threads == 0 {
 		opts.Threads = 4
 	}
@@ -195,6 +233,7 @@ func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options
 	if opts.FuseActivations {
 		graph = nn.FuseActivations(graph)
 	}
+	ip.cpu.Tracer = rt.Tracer
 	ip.graph = graph
 	switch opts.Delegate {
 	case DelegateCPU:
@@ -204,11 +243,11 @@ func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options
 		if opts.GPUAllowFP16 {
 			gpu.AllowFP16()
 		}
-		ip.segments = partition(graph, dt, gpu, ip.cpu)
+		gpu.Tracer = rt.Tracer
+		ip.segments = partition(graph, dt, rt.instrument(gpu, opts.ProbeOverhead), ip.cpu)
 	case DelegateHexagon:
-		ch := fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
-		dsp := driver.NewDSPTarget("hexagon-delegate", &rt.Platform.DSP, ch, 0.8, driver.HexagonDelegateSupports)
-		ip.segments = partition(graph, dt, dsp, ip.cpu)
+		dsp := driver.NewDSPTarget("hexagon-delegate", &rt.Platform.DSP, rt.newChannel(), 0.8, driver.HexagonDelegateSupports)
+		ip.segments = partition(graph, dt, rt.instrument(dsp, opts.ProbeOverhead), ip.cpu)
 	case DelegateNNAPI:
 		fw := opts.NNAPI
 		if fw == nil {
@@ -219,6 +258,18 @@ func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options
 		return nil, fmt.Errorf("tflite: unknown delegate %v", opts.Delegate)
 	}
 	return ip, nil
+}
+
+// instrument wraps an accelerator target with the driver probe at the
+// given fractional overhead (zero passes through), wiring the wrapper to
+// the runtime's telemetry.
+func (rt *Runtime) instrument(t driver.Target, overhead float64) driver.Target {
+	w := trace.InstrumentOverhead(t, rt.Eng, overhead)
+	if it, ok := w.(*trace.InstrumentedTarget); ok {
+		it.Tracer = rt.Tracer
+		it.Metrics = rt.Metrics
+	}
+	return w
 }
 
 // partition greedily splits the graph into maximal delegate-supported
@@ -311,14 +362,32 @@ func (ip *Interpreter) Init(done func()) {
 
 // Invoke runs one inference; done receives the invocation report.
 func (ip *Interpreter) Invoke(done func(Report)) {
+	ip.InvokeTraced(nil, done)
+}
+
+// InvokeTraced is Invoke with telemetry context: the invocation becomes
+// a "framework" span under parent (may be nil), and every segment's
+// driver work is parented beneath it. With the runtime's Tracer unset
+// this is exactly Invoke.
+func (ip *Interpreter) InvokeTraced(parent *telemetry.ActiveSpan, done func(Report)) {
 	if !ip.initialized {
 		panic("tflite: Invoke before Init")
 	}
+	fw := ip.rt.Tracer.Start("framework", "tflite", telemetry.TrackCPU, parent)
+	fw.SetAttr("model", ip.Model.Name)
+	fw.SetAttr("delegate", ip.opts.Delegate.String())
+	finish := func(rep Report) {
+		fw.End()
+		ip.rt.Metrics.Inc("aitax_invocations_total")
+		ip.rt.Metrics.Add("aitax_delegate_transitions_total", float64(rep.Transitions))
+		ip.rt.Metrics.Observe("aitax_invoke_ms", float64(rep.Total())/float64(time.Millisecond))
+		if done != nil {
+			done(rep)
+		}
+	}
 	if ip.opts.Delegate == DelegateNNAPI {
 		ip.nnapiFW.Execute(ip.compiled, func(r nnapi.Report) {
-			if done != nil {
-				done(Report{Result: r.Result, Transitions: r.Transitions})
-			}
+			finish(Report{Result: r.Result, Transitions: r.Transitions})
 		})
 		return
 	}
@@ -326,14 +395,12 @@ func (ip *Interpreter) Invoke(done func(Report)) {
 	var runSeg func(i int)
 	runSeg = func(i int) {
 		if i >= len(ip.segments) {
-			if done != nil {
-				done(rep)
-			}
+			finish(rep)
 			return
 		}
 		s := ip.segments[i]
 		exec := func() {
-			s.target.Execute(s.ops, ip.DType, func(res driver.Result) {
+			driver.ExecuteSpan(s.target, s.ops, ip.DType, fw, func(res driver.Result) {
 				rep.Result = rep.Result.Add(res)
 				runSeg(i + 1)
 			})

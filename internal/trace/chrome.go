@@ -9,32 +9,80 @@ import (
 
 	"aitax/internal/sched"
 	"aitax/internal/sim"
+	"aitax/internal/telemetry"
+)
+
+// Chrome-trace process IDs: scheduler activity and the pipeline's
+// telemetry tracks render as two separate "processes" in Perfetto.
+const (
+	// PIDSched is the process carrying per-core scheduler slices
+	// (tid = core ID).
+	PIDSched = 0
+	// PIDPipeline is the process carrying pipeline spans and counters
+	// (tid = telemetry.Track).
+	PIDPipeline = 1
 )
 
 // ChromeRecorder captures scheduler activity as Chrome trace events
 // (the chrome://tracing / Perfetto JSON array format), giving the
 // simulated system the same inspection affordance the Snapdragon
-// Profiler gives real devices.
+// Profiler gives real devices. Beyond scheduler slices it merges
+// pipeline span trees and flow links (AddTelemetry), counter tracks
+// (AddCounter / AddSpanOccupancy) and process/thread-name metadata into
+// one Perfetto-loadable file.
 type ChromeRecorder struct {
 	events []chromeEvent
+	meta   map[metaKey]string
+}
+
+type metaKey struct {
+	pid, tid int
+	kind     string // "process_name" or "thread_name"
 }
 
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds (X events)
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds (X events)
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"` // flow-event binding
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // NewChromeRecorder creates an empty recorder.
-func NewChromeRecorder() *ChromeRecorder { return &ChromeRecorder{} }
+func NewChromeRecorder() *ChromeRecorder {
+	return &ChromeRecorder{meta: make(map[metaKey]string)}
+}
 
-// Attach subscribes to a scheduler's events.
-func (c *ChromeRecorder) Attach(s *sched.Scheduler) { s.Subscribe(c) }
+// SetProcessName attaches a process_name metadata ("M") event, so
+// Perfetto labels the pid's track group.
+func (c *ChromeRecorder) SetProcessName(pid int, name string) {
+	c.meta[metaKey{pid: pid, tid: 0, kind: "process_name"}] = name
+}
+
+// SetThreadName attaches a thread_name metadata ("M") event, so
+// Perfetto shows "CPU big 0" or "Hexagon DSP" instead of a bare tid.
+func (c *ChromeRecorder) SetThreadName(pid, tid int, name string) {
+	c.meta[metaKey{pid: pid, tid: tid, kind: "thread_name"}] = name
+}
+
+// Attach subscribes to a scheduler's events and names the scheduler
+// process and its per-core threads.
+func (c *ChromeRecorder) Attach(s *sched.Scheduler) {
+	s.Subscribe(c)
+	c.SetProcessName(PIDSched, "cpu (sched)")
+	for _, core := range s.Cores() {
+		kind := "LITTLE"
+		if core.Big {
+			kind = "big"
+		}
+		c.SetThreadName(PIDSched, core.ID, fmt.Sprintf("CPU %s %d", kind, core.ID))
+	}
+}
 
 // OnRun implements sched.Listener: each slice becomes a complete ("X")
 // event on the core's track.
@@ -45,7 +93,7 @@ func (c *ChromeRecorder) OnRun(th *sched.Thread, core *sched.Core, start sim.Tim
 		Ph:   "X",
 		TS:   float64(start.Nanoseconds()) / 1e3,
 		Dur:  float64(d) / 1e3,
-		PID:  0,
+		PID:  PIDSched,
 		TID:  core.ID,
 	})
 }
@@ -58,31 +106,155 @@ func (c *ChromeRecorder) OnMigrate(th *sched.Thread, from, to *sched.Core, at si
 		Cat:  "sched",
 		Ph:   "i",
 		TS:   float64(at.Nanoseconds()) / 1e3,
-		PID:  0,
+		PID:  PIDSched,
 		TID:  to.ID,
-		Args: map[string]string{"from": fmt.Sprintf("cpu%d", from.ID), "to": fmt.Sprintf("cpu%d", to.ID)},
+		Args: map[string]any{"from": fmt.Sprintf("cpu%d", from.ID), "to": fmt.Sprintf("cpu%d", to.ID)},
 	})
 }
 
 // MarkSpan records an arbitrary labelled span (e.g. a pipeline stage) on
-// a synthetic track.
+// a synthetic track of the pipeline process.
 func (c *ChromeRecorder) MarkSpan(name, category string, track int, start sim.Time, d time.Duration) {
 	c.events = append(c.events, chromeEvent{
 		Name: name, Cat: category, Ph: "X",
 		TS:  float64(start.Nanoseconds()) / 1e3,
 		Dur: float64(d) / 1e3,
-		PID: 1, TID: track,
+		PID: PIDPipeline, TID: track,
 	})
 }
 
-// Len reports the number of recorded events.
+// trackNames label the pipeline process's threads in Perfetto.
+var trackNames = map[telemetry.Track]string{
+	telemetry.TrackCPU: "pipeline (CPU)",
+	telemetry.TrackDSP: "Hexagon DSP",
+	telemetry.TrackGPU: "GPU",
+}
+
+// AddTelemetry merges a tracer's span tree and flow links into the
+// trace: spans become complete ("X") events on the pipeline process's
+// per-track threads, and each flow becomes a start/finish ("s"/"f")
+// event pair connecting its endpoints — the arrows that make FastRPC
+// CPU↔DSP round-trips visible.
+func (c *ChromeRecorder) AddTelemetry(spans []telemetry.Span, flows []telemetry.Flow) {
+	c.SetProcessName(PIDPipeline, "ml pipeline")
+	byID := make(map[int64]telemetry.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+		c.SetThreadName(PIDPipeline, int(s.Track), trackNames[s.Track])
+		args := map[string]any{"span": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Component,
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			PID:  PIDPipeline,
+			TID:  int(s.Track),
+			Args: args,
+		})
+	}
+	for _, f := range flows {
+		from, okF := byID[f.From]
+		to, okT := byID[f.To]
+		if !okF || !okT {
+			continue
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: f.Name, Cat: "flow", Ph: "s",
+			TS:  float64(from.End.Nanoseconds()) / 1e3,
+			PID: PIDPipeline, TID: int(from.Track), ID: f.ID,
+		}, chromeEvent{
+			Name: f.Name, Cat: "flow", Ph: "f", BP: "e",
+			TS:  float64(to.Start.Nanoseconds()) / 1e3,
+			PID: PIDPipeline, TID: int(to.Track), ID: f.ID,
+		})
+	}
+}
+
+// AddCounter appends one sample to a counter ("C") track of the
+// pipeline process.
+func (c *ChromeRecorder) AddCounter(name string, at sim.Time, value float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: name, Cat: "counter", Ph: "C",
+		TS:  float64(at.Nanoseconds()) / 1e3,
+		PID: PIDPipeline,
+		Args: map[string]any{
+			"value": value,
+		},
+	})
+}
+
+// AddSpanOccupancy derives a counter track from the spans on one
+// telemetry track: the count of open spans at every boundary (for a
+// capacity-1 device, its 0/1 occupancy). Deterministic — no sampling.
+func (c *ChromeRecorder) AddSpanOccupancy(name string, spans []telemetry.Span, track telemetry.Track) {
+	type step struct {
+		at    sim.Time
+		delta int
+	}
+	var steps []step
+	for _, s := range spans {
+		if s.Track != track || s.Duration() <= 0 {
+			continue
+		}
+		steps = append(steps, step{s.Start, +1}, step{s.End, -1})
+	}
+	if len(steps) == 0 {
+		return
+	}
+	sort.SliceStable(steps, func(i, j int) bool {
+		if steps[i].at != steps[j].at {
+			return steps[i].at < steps[j].at
+		}
+		return steps[i].delta < steps[j].delta // close before open at ties
+	})
+	open := 0
+	for i, st := range steps {
+		open += st.delta
+		if i+1 < len(steps) && steps[i+1].at == st.at {
+			continue // emit only the final value at each timestamp
+		}
+		c.AddCounter(name, st.at, float64(open))
+	}
+}
+
+// Len reports the number of recorded events (metadata excluded).
 func (c *ChromeRecorder) Len() int { return len(c.events) }
 
-// WriteJSON emits the trace in the Chrome trace-event JSON array format,
-// sorted by timestamp for stable output.
+// WriteJSON emits the trace in the Chrome trace-event JSON array
+// format: metadata first (sorted by pid/tid), then events sorted by
+// timestamp — stable, so identical runs serialize byte-identically.
 func (c *ChromeRecorder) WriteJSON(w io.Writer) error {
-	evs := append([]chromeEvent(nil), c.events...)
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	keys := make([]metaKey, 0, len(c.meta))
+	for k := range c.meta {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind // process_name before thread_name
+		}
+		return a.tid < b.tid
+	})
+	evs := make([]chromeEvent, 0, len(keys)+len(c.events))
+	for _, k := range keys {
+		evs = append(evs, chromeEvent{
+			Name: k.kind, Ph: "M", PID: k.pid, TID: k.tid,
+			Args: map[string]any{"name": c.meta[k]},
+		})
+	}
+	body := append([]chromeEvent(nil), c.events...)
+	sort.SliceStable(body, func(i, j int) bool { return body[i].TS < body[j].TS })
+	evs = append(evs, body...)
 	enc := json.NewEncoder(w)
 	type wrapper struct {
 		TraceEvents     []chromeEvent `json:"traceEvents"`

@@ -8,6 +8,7 @@ import (
 
 	"aitax/internal/sched"
 	"aitax/internal/sim"
+	"aitax/internal/telemetry"
 )
 
 func TestChromeRecorderCapturesRuns(t *testing.T) {
@@ -76,5 +77,154 @@ func TestChromeMarkSpan(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("pre-processing")) {
 		t.Fatal("span missing from JSON")
+	}
+}
+
+func TestChromeMetadataNamesTracks(t *testing.T) {
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.DefaultConfig())
+	rec := NewChromeRecorder()
+	rec.Attach(sch)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "M" {
+			t.Fatalf("non-metadata event %q before metadata block exhausted? (only metadata expected here)", e.Name)
+		}
+		if n, ok := e.Args["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"cpu (sched)", "CPU big 0", "CPU LITTLE 4"} {
+		if !names[want] {
+			t.Fatalf("metadata missing %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestChromeAddTelemetrySpansAndFlows(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := telemetry.NewTracer(eng.Now)
+	down := tr.Emit("rpc-down", "fastrpc", telemetry.TrackCPU, nil, sim.Time(0), sim.Time(1e6))
+	exec := tr.Emit("infer", "fastrpc", telemetry.TrackDSP, nil, sim.Time(1e6), sim.Time(5e6))
+	up := tr.Emit("rpc-up", "fastrpc", telemetry.TrackCPU, nil, sim.Time(5e6), sim.Time(6e6))
+	tr.Link("fastrpc", down, exec)
+	tr.Link("fastrpc", exec, up)
+
+	rec := NewChromeRecorder()
+	rec.AddTelemetry(tr.Spans(), tr.Flows())
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			BP   string         `json:"bp"`
+			ID   int64          `json:"id"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	starts, finishes, dspSpans := 0, 0, 0
+	threadNames := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "s":
+			starts++
+			if e.ID == 0 {
+				t.Fatal("flow start without id")
+			}
+		case "f":
+			finishes++
+			if e.BP != "e" {
+				t.Fatal("flow finish without bp=e")
+			}
+		case "X":
+			if e.PID == PIDPipeline && e.TID == int(telemetry.TrackDSP) {
+				dspSpans++
+			}
+		case "M":
+			if n, ok := e.Args["name"].(string); ok {
+				threadNames[n] = true
+			}
+		}
+	}
+	if starts != 2 || finishes != 2 {
+		t.Fatalf("flow events: %d starts, %d finishes, want 2/2", starts, finishes)
+	}
+	if dspSpans != 1 {
+		t.Fatalf("DSP-track spans = %d, want 1", dspSpans)
+	}
+	for _, want := range []string{"ml pipeline", "Hexagon DSP", "pipeline (CPU)"} {
+		if !threadNames[want] {
+			t.Fatalf("missing track name %q", want)
+		}
+	}
+}
+
+func TestChromeSpanOccupancyCounter(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := telemetry.NewTracer(eng.Now)
+	tr.Emit("infer", "fastrpc", telemetry.TrackDSP, nil, sim.Time(1e6), sim.Time(3e6))
+	tr.Emit("infer", "fastrpc", telemetry.TrackDSP, nil, sim.Time(3e6), sim.Time(5e6))
+	tr.Emit("pre", "app", telemetry.TrackCPU, nil, sim.Time(0), sim.Time(1e6))
+
+	rec := NewChromeRecorder()
+	rec.AddSpanOccupancy("dsp busy", tr.Spans(), telemetry.TrackDSP)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	// Expect steps: 1ms→1, 3ms→1 (close+open collapse), 5ms→0.
+	var got []float64
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "C" {
+			continue
+		}
+		if e.Name != "dsp busy" {
+			t.Fatalf("counter name %q", e.Name)
+		}
+		got = append(got, e.Args["value"].(float64))
+	}
+	want := []float64{1, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("counter steps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counter steps = %v, want %v", got, want)
+		}
 	}
 }

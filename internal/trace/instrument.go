@@ -7,8 +7,13 @@ import (
 	"aitax/internal/nn"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 )
+
+// DefaultProbeOverhead is the default fractional probe cost — the middle
+// of the paper's measured 4-7% range.
+const DefaultProbeOverhead = 0.055
 
 // InstrumentedTarget wraps a delegate with driver instrumentation, the
 // measurement hooks §III-D quantifies: enabling them adds a 4-7%
@@ -19,6 +24,10 @@ type InstrumentedTarget struct {
 	Eng   *sim.Engine
 	// Overhead is the fractional compute-time cost (default ~5.5%).
 	Overhead float64
+	// Tracer, when set, records each probe charge as a span.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, accumulates probe overhead observations.
+	Metrics *telemetry.Registry
 }
 
 // Instrument wraps a target with the default probe overhead. CPU targets
@@ -26,10 +35,21 @@ type InstrumentedTarget struct {
 // instrumentation "has no effect on pre-processing or inference
 // performed on the CPU".
 func Instrument(t driver.Target, eng *sim.Engine) driver.Target {
+	return InstrumentOverhead(t, eng, DefaultProbeOverhead)
+}
+
+// InstrumentOverhead wraps a target with an explicit fractional probe
+// overhead, covering the paper's 4-7% range. CPU targets are always
+// returned unwrapped, and a non-positive overhead disables wrapping
+// entirely.
+func InstrumentOverhead(t driver.Target, eng *sim.Engine, overhead float64) driver.Target {
+	if overhead <= 0 {
+		return t
+	}
 	if t.Kind() == soc.CPUBig || t.Kind() == soc.CPULittle {
 		return t
 	}
-	return &InstrumentedTarget{Inner: t, Eng: eng, Overhead: 0.055}
+	return &InstrumentedTarget{Inner: t, Eng: eng, Overhead: overhead}
 }
 
 // Name implements driver.Target.
@@ -46,9 +66,19 @@ func (t *InstrumentedTarget) Supports(op *nn.Op, dt tensor.DType) bool {
 // Execute implements driver.Target: the inner execution runs, then the
 // probe's logging/timestamping cost is charged proportionally.
 func (t *InstrumentedTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(driver.Result)) {
-	t.Inner.Execute(ops, dt, func(res driver.Result) {
+	t.ExecuteSpan(ops, dt, nil, done)
+}
+
+// ExecuteSpan implements driver.SpanExecutor: the parent span flows
+// through to the inner target, and the probe charge itself becomes a
+// "probe" span under it.
+func (t *InstrumentedTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(driver.Result)) {
+	driver.ExecuteSpan(t.Inner, ops, dt, parent, func(res driver.Result) {
 		extra := time.Duration(float64(res.Compute) * t.Overhead)
+		start := t.Eng.Now()
 		t.Eng.After(extra, func() {
+			t.Tracer.Emit("probe", "driver", telemetry.TrackCPU, parent, start, t.Eng.Now())
+			t.Metrics.Observe("aitax_probe_overhead_ms", float64(extra)/float64(time.Millisecond))
 			res.Overhead += extra
 			if done != nil {
 				done(res)

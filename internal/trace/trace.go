@@ -31,6 +31,9 @@ func (tr *trackedResource) sample() float64 {
 	if tr.gauge != nil {
 		return tr.gauge()
 	}
+	if tr.res == nil || tr.res.Capacity() == 0 {
+		return 0
+	}
 	return float64(tr.res.InUse()) / float64(tr.res.Capacity())
 }
 

@@ -11,6 +11,7 @@ import (
 	"aitax/internal/sched"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 )
 
@@ -191,5 +192,89 @@ func TestTrackDerived(t *testing.T) {
 	}
 	if !strings.Contains(p.Render(), "axi") {
 		t.Fatal("derived row missing from render")
+	}
+}
+
+func TestSampleGuardsZeroCapacity(t *testing.T) {
+	// A zero-value resource (capacity 0) or a nil one must sample as
+	// idle, not divide by zero into NaN.
+	for _, tr := range []*trackedResource{
+		{name: "zero", res: &sim.Resource{}},
+		{name: "nil"},
+	} {
+		if got := tr.sample(); got != 0 {
+			t.Fatalf("%s-capacity sample = %v, want 0", tr.name, got)
+		}
+	}
+}
+
+func TestInstrumentOverheadConfigurable(t *testing.T) {
+	// The probe effect must sweep the paper's 4-7% range.
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	run := func(overhead float64) time.Duration {
+		eng := sim.NewEngine()
+		p := soc.Pixel3()
+		dspRes := sim.NewResource(eng, "dsp", 1)
+		ch := fastrpc.NewChannel(eng, p.RPC, dspRes)
+		var target driver.Target = driver.NewDSPTarget("dsp", &p.DSP, ch, 0.95, driver.SNPESupports)
+		target = InstrumentOverhead(target, eng, overhead)
+		var warm time.Duration
+		target.Execute(m.Graph.Ops(), tensor.UInt8, func(driver.Result) {
+			s := eng.Now()
+			target.Execute(m.Graph.Ops(), tensor.UInt8, func(driver.Result) {
+				warm = eng.Now().Sub(s)
+			})
+		})
+		eng.Run()
+		return warm
+	}
+	plain := run(0)
+	low := float64(run(0.04)-plain) / float64(plain)
+	high := float64(run(0.07)-plain) / float64(plain)
+	if low < 0.02 || low > 0.05 {
+		t.Fatalf("4%% probe produced %.1f%% increase", low*100)
+	}
+	if high <= low || high > 0.08 {
+		t.Fatalf("7%% probe produced %.1f%% increase (low=%.1f%%)", high*100, low*100)
+	}
+}
+
+func TestInstrumentOverheadCPUAlwaysUnwrapped(t *testing.T) {
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.DefaultConfig())
+	p := soc.Pixel3()
+	cpu := driver.NewCPUTarget("cpu", sch, &p.Big, 4)
+	for _, ov := range []float64{0.04, 0.055, 0.07, 0.25} {
+		if InstrumentOverhead(cpu, eng, ov) != driver.Target(cpu) {
+			t.Fatalf("CPU target wrapped at overhead %v", ov)
+		}
+	}
+	// Non-positive overhead disables the probe even on accelerators.
+	dspRes := sim.NewResource(eng, "dsp", 1)
+	ch := fastrpc.NewChannel(eng, p.RPC, dspRes)
+	dsp := driver.NewDSPTarget("dsp", &p.DSP, ch, 0.95, driver.SNPESupports)
+	if InstrumentOverhead(dsp, eng, 0) != driver.Target(dsp) {
+		t.Fatal("zero overhead must pass through unwrapped")
+	}
+}
+
+func TestInstrumentedTargetRecordsTelemetry(t *testing.T) {
+	m, _ := models.ByName("MobileNet 1.0 v1")
+	eng := sim.NewEngine()
+	p := soc.Pixel3()
+	dspRes := sim.NewResource(eng, "dsp", 1)
+	ch := fastrpc.NewChannel(eng, p.RPC, dspRes)
+	inner := driver.NewDSPTarget("dsp", &p.DSP, ch, 0.95, driver.SNPESupports)
+	w := InstrumentOverhead(inner, eng, 0.055).(*InstrumentedTarget)
+	w.Tracer = telemetry.NewTracer(eng.Now)
+	w.Metrics = telemetry.NewRegistry()
+	w.Execute(m.Graph.Ops(), tensor.UInt8, nil)
+	eng.Run()
+	if w.Metrics.Count("aitax_probe_overhead_ms") != 1 {
+		t.Fatal("probe overhead not recorded in metrics")
+	}
+	spans := w.Tracer.Spans()
+	if len(spans) != 1 || spans[0].Name != "probe" || spans[0].Duration() <= 0 {
+		t.Fatalf("probe span missing or empty: %+v", spans)
 	}
 }

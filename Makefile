@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench experiments validate results examples trace-demo clean
+.PHONY: all build test test-norace vet bench experiments validate results examples trace-demo chaos-demo clean
 
 all: build test
 
@@ -32,6 +32,12 @@ experiments:
 # CI-style gate: exit non-zero if any paper shape check regressed.
 validate:
 	$(GO) run ./cmd/aitax-validate
+
+# Fault-injection gate under the race detector: one model per target
+# under a fixed fault plan, byte-identical at any worker-pool width
+# (see docs/FAULTS.md).
+chaos-demo:
+	$(GO) run -race ./cmd/aitax-validate -chaos
 
 # Refresh the committed reference results (docs/RESULTS.txt).
 results:

@@ -36,6 +36,7 @@ import (
 	"aitax/internal/bench"
 	"aitax/internal/core"
 	"aitax/internal/driver"
+	"aitax/internal/faults"
 	"aitax/internal/lab"
 	"aitax/internal/models"
 	"aitax/internal/nnapi"
@@ -283,6 +284,24 @@ func ReportTelemetry(ctx context.Context, b *TelemetryBundle) { lab.ReportTeleme
 // submission order, so the aggregate is identical at any parallelism.
 func MergeJobTelemetry(results []JobResult) *TelemetryBundle { return lab.MergeTelemetry(results) }
 
+// Fault injection (deterministic offload-failure modeling).
+type (
+	// FaultPlan describes what the fault injector may break: FastRPC
+	// transport errors and timeouts, session-setup failures, delegate /
+	// driver init failures, driver stalls and thermal trips. The zero
+	// value injects nothing and keeps runs byte-identical; see
+	// docs/FAULTS.md.
+	FaultPlan = faults.Plan
+	// FaultError is a terminal injected failure (retries exhausted or a
+	// non-retryable fault); errors.As against it recovers the site.
+	FaultError = faults.Error
+)
+
+// ParseFaultPlan parses the -faults CLI spec ("rpc=0.1,timeout=0.05,
+// deadline=40ms,init=1,seed=7,...") into a FaultPlan. The empty string
+// is the zero plan.
+func ParseFaultPlan(spec string) (FaultPlan, error) { return faults.ParsePlan(spec) }
+
 // DefaultSeed is the seed every measurement uses when none is set
 // explicitly (see AppOptions.SeedSet and ExperimentConfig.SeedSet).
 const DefaultSeed uint64 = bench.DefaultSeed
@@ -332,6 +351,12 @@ type AppOptions struct {
 	// All calls; values outside [0, 0.25] and the NNAPI delegate
 	// (which owns its targets) are rejected at interpreter build time.
 	ProbeOverhead float64
+	// Faults injects deterministic offload failures (see FaultPlan).
+	// The zero plan injects nothing and leaves output byte-identical;
+	// a plan without an explicit fault Seed derives one from the run
+	// seed, so run-level determinism extends to the fault stream.
+	// All calls; invalid plans are rejected before the run starts.
+	Faults FaultPlan
 }
 
 // Defaults returns a copy of o with every unset field filled with its
@@ -403,6 +428,11 @@ func MeasureBenchmarkCtx(ctx context.Context, opts AppOptions) ([]RunSample, err
 		return nil, err
 	}
 	rt := tflite.NewStack(opts.Platform, opts.Seed)
+	inj, err := faults.New(opts.Faults.Resolved(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	rt.Faults = inj
 	ip, err := rt.NewInterpreter(m, opts.DType, tflite.Options{Delegate: opts.Delegate, ProbeOverhead: opts.ProbeOverhead})
 	if err != nil {
 		return nil, err
@@ -451,6 +481,11 @@ func measureFrames(ctx context.Context, opts AppOptions, setup func(*tflite.Runt
 		return nil, nil, err
 	}
 	rt := tflite.NewStack(opts.Platform, opts.Seed)
+	inj, err := faults.New(opts.Faults.Resolved(opts.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	rt.Faults = inj
 	if setup != nil {
 		setup(rt)
 	}
@@ -539,6 +574,7 @@ func MeasureAppTracedCtx(ctx context.Context, opts AppOptions) (*TraceRun, error
 	chrome.AddTelemetry(spans, flows)
 	chrome.AddSpanOccupancy("dsp in flight", spans, telemetry.TrackDSP)
 	chrome.AddSpanOccupancy("gpu in flight", spans, telemetry.TrackGPU)
+	chrome.AddFaultCounters(rt.Metrics, rt.Eng.Now())
 	lab.ReportTelemetry(ctx, &telemetry.Bundle{Spans: spans, Flows: flows, Registry: rt.Metrics})
 	return &TraceRun{
 		Frames:          frames,

@@ -113,7 +113,7 @@ func TestTaxonomyFacade(t *testing.T) {
 }
 
 func TestExperimentsFacade(t *testing.T) {
-	if len(aitax.Experiments()) != 28 {
+	if len(aitax.Experiments()) != 29 {
 		t.Fatalf("experiments = %d", len(aitax.Experiments()))
 	}
 	e, err := aitax.ExperimentByID("table1")
@@ -263,5 +263,60 @@ func TestDirectStackUse(t *testing.T) {
 	rt.Eng.Run()
 	if !ran {
 		t.Fatal("invoke did not run")
+	}
+}
+
+func TestMeasureAppWithFaults(t *testing.T) {
+	base := aitax.AppOptions{
+		Model:    "MobileNet 1.0 v1",
+		DType:    aitax.UInt8,
+		Delegate: aitax.DelegateHexagon,
+		Frames:   10,
+	}
+	clean, err := aitax.MeasureApp(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero plan is a no-op: same options, byte-identical render.
+	again, err := aitax.MeasureApp(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Render() != again.Render() {
+		t.Fatal("fault-free runs must stay byte-identical")
+	}
+
+	faulty := base
+	// No warmup: the storm hits the very first inference, and discarding
+	// warmup frames would hide the retry/fallback cost being asserted.
+	faulty.WarmupFrames = -1
+	faulty.Faults, err = aitax.ParseFaultPlan("timeout=1,deadline=20ms,attempts=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := aitax.MeasureApp(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 10 {
+		t.Fatalf("faulty run completed %d frames, want 10", b.N)
+	}
+	if b.Retry <= 0 || b.Fallback <= 0 {
+		t.Fatalf("retry/fallback not surfaced: retry=%v fallback=%v", b.Retry, b.Fallback)
+	}
+	if !strings.Contains(b.Render(), "fault recovery") {
+		t.Fatal("render missing the fault recovery line")
+	}
+
+	bad := base
+	bad.Faults = aitax.FaultPlan{RPCErrorRate: 2}
+	if _, err := aitax.MeasureApp(bad); err == nil {
+		t.Fatal("out-of-range plan must be rejected")
+	}
+	if _, err := aitax.MeasureBenchmark(aitax.AppOptions{
+		Model: base.Model, DType: base.DType, Delegate: base.Delegate,
+		Frames: 5, Faults: bad.Faults,
+	}); err == nil {
+		t.Fatal("MeasureBenchmark must reject an invalid plan too")
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write per-frame stage breakdowns to this CSV file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
 	metricsPath := flag.String("metrics", "", "write Prometheus-style metrics of the run to this path")
+	faultSpec := flag.String("faults", "", `deterministic fault plan, e.g. "rpc=0.1,timeout=0.05,init=1,seed=7" (see docs/FAULTS.md)`)
 	flag.Parse()
 
 	if *taxonomy {
@@ -46,11 +47,14 @@ func main() {
 	check(err)
 	p, err := aitax.PlatformByName(*platform)
 	check(err)
+	plan, err := aitax.ParseFaultPlan(*faultSpec)
+	check(err)
 
 	opts := aitax.AppOptions{
 		Model: *model, DType: dt, Delegate: d,
 		Frames: *frames, Platform: p, Seed: *seed, SeedSet: true,
 		BackgroundJobs: *bg, BackgroundDelegate: bgd,
+		Faults: plan,
 	}
 	// Tracing never perturbs the run: with -trace/-metrics set, the
 	// frames (and thus all stdout) are identical to an untraced run —

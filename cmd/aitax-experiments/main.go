@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"write the merged telemetry of all jobs as Chrome trace-event JSON to this path")
 	metricsPath := fs.String("metrics", "",
 		"write merged run metrics (Prometheus text) to this path; identical at any -parallel")
+	faultSpec := fs.String("faults", "",
+		`custom fault plan for the faults experiment, e.g. "rpc=0.1,init=1,seed=7" (see docs/FAULTS.md)`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,9 +68,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	plan, err := aitax.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	// SeedSet: the flag always carries an explicit value, so -seed 0
 	// really means seed 0.
-	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, SeedSet: true, Runs: *runs}
+	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, SeedSet: true, Runs: *runs, Faults: plan}
 
 	var selected []aitax.Experiment
 	if *runIDs == "all" {

@@ -126,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chrome.AddTelemetry(spans, flows)
 		chrome.AddSpanOccupancy("dsp in flight", spans, telemetry.TrackDSP)
 		chrome.AddSpanOccupancy("gpu in flight", spans, telemetry.TrackGPU)
+		chrome.AddFaultCounters(rt.Metrics, rt.Eng.Now())
 		if err := writeTo(*chromeOut, chrome.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The chaos gate must pass, and its report must be byte-identical
+// between invocations and across worker-pool widths — the end-to-end
+// determinism contract of the fault subsystem.
+func TestChaosGateDeterministic(t *testing.T) {
+	gate := func(parallel string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-chaos", "-parallel", parallel}, &out, &errb); code != 0 {
+			t.Fatalf("chaos gate exited %d: %s%s", code, out.String(), errb.String())
+		}
+		return out.String()
+	}
+	wide := gate("4")
+	if !strings.Contains(wide, "chaos gate PASS") {
+		t.Fatalf("no PASS line in report:\n%s", wide)
+	}
+	if !strings.Contains(wide, "fault recovery") {
+		t.Fatalf("report shows no fault recovery — the plan injected nothing:\n%s", wide)
+	}
+	for _, tgt := range []string{"target cpu:", "target gpu:", "target hexagon:", "target nnapi:"} {
+		if !strings.Contains(wide, tgt) {
+			t.Fatalf("report missing %q:\n%s", tgt, wide)
+		}
+	}
+	// Only the closing PASS line names the -parallel value; every
+	// measured byte before it must match across pool widths.
+	body := func(s string) string { return s[:strings.Index(s, "chaos gate PASS")] }
+	if again := gate("2"); body(again) != body(wide) {
+		t.Fatalf("chaos report differs across invocations/parallelism:\n--- parallel 4 ---\n%s--- parallel 2 ---\n%s", wide, again)
+	}
+}

@@ -70,10 +70,21 @@ type FrameStats struct {
 	Post      time.Duration
 	UI        time.Duration
 	Total     time.Duration
+	// Retry is the inference stage's injected-fault recovery time
+	// (failed FastRPC attempts + backoff waits). It is contained in
+	// Inference but is tax, not useful compute. Retries in other stages
+	// (a PreOnDSP pipeline) are already inside those stages' times.
+	Retry time.Duration
+	// Fallback is delegate teardown + CPU re-init time paid inside the
+	// inference stage when the delegate died mid-run.
+	Fallback time.Duration
 }
 
-// Tax returns the non-inference share of the frame (the AI tax).
-func (f FrameStats) Tax() time.Duration { return f.Total - f.Inference }
+// Tax returns the non-inference share of the frame (the AI tax). Fault
+// recovery that happened inside the inference stage — retries and
+// delegate fallback — is tax too, so it is added back; on fault-free
+// frames this is exactly Total - Inference.
+func (f FrameStats) Tax() time.Duration { return f.Total - f.Inference + f.Retry + f.Fallback }
 
 // App is one running application instance.
 type App struct {
@@ -100,8 +111,9 @@ type App struct {
 	// FrameInterval paces the background preview stream (30 fps).
 	FrameInterval time.Duration
 
-	frames    int
-	streaming bool
+	frames     int
+	streaming  bool
+	preDSPDown bool // the DSP pre-processing path failed; stay on CPU
 }
 
 // New builds an app around a runtime.
@@ -141,6 +153,7 @@ func New(rt *tflite.Runtime, cfg Config) (*App, error) {
 		a.preRPC = fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
 		a.preRPC.Tracer = rt.Tracer
 		a.preRPC.Metrics = rt.Metrics
+		a.preRPC.Faults = rt.Faults
 	}
 	return a, nil
 }
@@ -253,8 +266,10 @@ func (a *App) ProcessFrame(done func(FrameStats)) {
 					// 3. Inference through the delegate.
 					invStart := a.rt.Eng.Now()
 					infSpan := tr.Start("inference", "app", telemetry.TrackCPU, frame)
-					a.ip.InvokeTraced(infSpan, func(tflite.Report) {
+					a.ip.InvokeTraced(infSpan, func(rep tflite.Report) {
 						st.Inference = a.rt.Eng.Now().Sub(invStart)
+						st.Retry = rep.Retry
+						st.Fallback = rep.FallbackCost
 						infSpan.End()
 
 						// 4. Post-processing.
@@ -324,6 +339,14 @@ func (a *App) recordFrame(st FrameStats) {
 			float64(s.d)/float64(time.Millisecond))
 	}
 	m.Observe("aitax_frame_tax_ms", float64(st.Tax())/float64(time.Millisecond))
+	// Fault-recovery series only exist once a fault actually fired, so
+	// fault-free runs export byte-identical metrics.
+	if st.Retry > 0 {
+		m.Observe("aitax_frame_retry_ms", float64(st.Retry)/float64(time.Millisecond))
+	}
+	if st.Fallback > 0 {
+		m.Observe("aitax_frame_fallback_ms", float64(st.Fallback)/float64(time.Millisecond))
+	}
 }
 
 // processText is the language-app variant of a frame: fetching the
@@ -346,8 +369,10 @@ func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, frame *te
 
 			invStart := a.rt.Eng.Now()
 			infSpan := tr.Start("inference", "app", telemetry.TrackCPU, frame)
-			a.ip.InvokeTraced(infSpan, func(tflite.Report) {
+			a.ip.InvokeTraced(infSpan, func(rep tflite.Report) {
 				st.Inference = a.rt.Eng.Now().Sub(invStart)
+				st.Retry = rep.Retry
+				st.Fallback = rep.FallbackCost
 				infSpan.End()
 
 				postStart := a.rt.Eng.Now()
@@ -389,14 +414,30 @@ func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, frame *te
 // managed code cannot approach, but the stage then queues behind any
 // inference tenant of the same DSP.
 func (a *App) runPre(w work.Work, native bool, parent *telemetry.ActiveSpan, done func()) {
-	if a.preRPC == nil {
+	if a.preRPC == nil || a.preDSPDown {
 		a.preThread.Exec(a.stageDuration(w, native), done)
 		return
 	}
-	w.Vectorizable = true // HVX path
-	exec := a.rt.Platform.DSP.TimeFor(w, a.ip.DType)
+	dspW := w
+	dspW.Vectorizable = true // HVX path
+	exec := a.rt.Platform.DSP.TimeFor(dspW, a.ip.DType)
 	payload := int64(a.cam.FrameBytes())
-	a.preRPC.InvokeSpan(payload, exec, parent, "pre-dsp", func(fastrpc.Breakdown) { done() })
+	a.preRPC.InvokeSpan(payload, exec, parent, "pre-dsp", func(b fastrpc.Breakdown) {
+		if b.Err != nil {
+			// The DSP pre-processing path is gone (session setup or
+			// transport failure after retries). Degrade permanently to
+			// the managed CPU path — like an app disabling its FastCV
+			// pipeline — and run this frame's stage there. The failed
+			// attempt's time is already inside the pre stage, so it is
+			// counted as tax without further accounting.
+			a.preDSPDown = true
+			a.rt.Tracer.Instant("pre-dsp-fallback", "faults", telemetry.TrackCPU, parent, a.rt.Eng.Now())
+			a.rt.Metrics.Inc(telemetry.Labeled("aitax_faults_fallbacks_total", "layer", "app-pre"))
+			a.preThread.Exec(a.stageDuration(w, native), done)
+			return
+		}
+		done()
+	})
 }
 
 // runRealPostprocess executes the genuine algorithms on fabricated

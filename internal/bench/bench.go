@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"aitax/internal/faults"
 	"aitax/internal/soc"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	// Runs is the per-configuration iteration count. The paper uses 500;
 	// smaller values trade precision for speed. Defaults to 50.
 	Runs int
+	// Faults, when enabled, adds a "custom" scenario driven by this plan
+	// to the faults experiment; every other experiment ignores it. The
+	// zero plan (the default) keeps all output byte-identical.
+	Faults faults.Plan
 }
 
 // Defaults returns a copy with every unset field filled with its
@@ -182,6 +187,7 @@ func Experiments() []Experiment {
 		{"preoffload", "Pre-processing placement: CPU vs DSP offload", PreOffload},
 		{"driverfix", "Fig. 5 counterfactual: fixed vendor driver", DriverFix},
 		{"resolution", "Camera preview resolution vs AI tax", ResolutionSweep},
+		{"faults", "Fault tolerance: offload failures, retries, CPU fallback", FaultTolerance},
 	}
 }
 

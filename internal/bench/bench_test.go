@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"aitax/internal/faults"
 	"aitax/internal/soc"
 )
 
@@ -18,7 +19,7 @@ func TestRegistryCoversAllArtifacts(t *testing.T) {
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "coldstart", "probe",
 		"models", "platforms", "prefs", "thermal", "ablation-partitions",
 		"init", "stdlib", "frameworks", "dvfs", "post", "fusion", "preoffload",
-		"driverfix", "resolution"}
+		"driverfix", "resolution", "faults"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments = %v", ids)
 	}
@@ -250,6 +251,30 @@ func TestShapesHoldAcrossChipsets(t *testing.T) {
 				if strings.Contains(n, "FAIL") {
 					t.Errorf("%s on %s: %s", id, name, n)
 				}
+			}
+		}
+	}
+}
+
+func TestFaultToleranceCustomScenario(t *testing.T) {
+	cfg := smallCfg()
+	base := FaultTolerance(cfg)
+	cfg.Faults = faults.Plan{RPCErrorRate: 0.5, Seed: 3}
+	custom := FaultTolerance(cfg)
+	if len(custom.Rows) != len(base.Rows)+1 {
+		t.Fatalf("custom plan must add exactly one scenario row: %d vs %d",
+			len(custom.Rows), len(base.Rows))
+	}
+	last := custom.Rows[len(custom.Rows)-1]
+	if last[0] != "custom (-faults)" {
+		t.Fatalf("last row = %v", last)
+	}
+	// The fixed scenarios must not be perturbed by the custom plan.
+	for i, row := range base.Rows {
+		for j := range row {
+			if custom.Rows[i][j] != row[j] {
+				t.Fatalf("fixed scenario %d drifted under a custom plan: %v vs %v",
+					i, custom.Rows[i], row)
 			}
 		}
 	}

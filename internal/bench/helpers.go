@@ -154,6 +154,8 @@ func meanFrames(frames []app.FrameStats) app.FrameStats {
 		sum.Post += f.Post
 		sum.UI += f.UI
 		sum.Total += f.Total
+		sum.Retry += f.Retry
+		sum.Fallback += f.Fallback
 	}
 	n := time.Duration(len(frames))
 	sum.Capture /= n
@@ -162,6 +164,8 @@ func meanFrames(frames []app.FrameStats) app.FrameStats {
 	sum.Post /= n
 	sum.UI /= n
 	sum.Total /= n
+	sum.Retry /= n
+	sum.Fallback /= n
 	return sum
 }
 

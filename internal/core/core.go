@@ -73,6 +73,12 @@ type Breakdown struct {
 	PostProcessing time.Duration
 	UI             time.Duration
 
+	// Retry and Fallback are mean per-frame fault-recovery times spent
+	// inside the inference stage (they are contained in ModelExecution's
+	// wall time but are tax, not model compute). Zero on fault-free runs.
+	Retry    time.Duration
+	Fallback time.Duration
+
 	// Distribution of end-to-end latency across the run (Fig. 11).
 	E2E stats.Summary
 }
@@ -90,6 +96,8 @@ func FromFrames(frames []app.FrameStats) Breakdown {
 		b.ModelExecution += f.Inference
 		b.PostProcessing += f.Post
 		b.UI += f.UI
+		b.Retry += f.Retry
+		b.Fallback += f.Fallback
 		e2e.Add(float64(f.Total) / float64(time.Millisecond))
 	}
 	n := time.Duration(len(frames))
@@ -98,6 +106,8 @@ func FromFrames(frames []app.FrameStats) Breakdown {
 	b.ModelExecution /= n
 	b.PostProcessing /= n
 	b.UI /= n
+	b.Retry /= n
+	b.Fallback /= n
 	b.E2E = e2e.Summarize()
 	return b
 }
@@ -107,8 +117,10 @@ func (b Breakdown) Total() time.Duration {
 	return b.DataCapture + b.PreProcessing + b.ModelExecution + b.PostProcessing + b.UI
 }
 
-// Tax returns the mean non-inference time.
-func (b Breakdown) Tax() time.Duration { return b.Total() - b.ModelExecution }
+// Tax returns the mean non-inference time. Fault recovery that happened
+// inside the inference stage (retries, delegate fallback) is tax too;
+// on fault-free runs this is exactly Total - ModelExecution.
+func (b Breakdown) Tax() time.Duration { return b.Total() - b.ModelExecution + b.Retry + b.Fallback }
 
 // TaxFraction returns the AI-tax share of end-to-end time.
 func (b Breakdown) TaxFraction() float64 {
@@ -136,6 +148,12 @@ func (b Breakdown) Render() string {
 	row("model execution", b.ModelExecution)
 	row("post-processing", b.PostProcessing)
 	row("ui/render", b.UI)
+	if b.Retry > 0 || b.Fallback > 0 {
+		// Only fault-injected runs grow this line, so fault-free output
+		// stays byte-identical.
+		fmt.Fprintf(&sb, "  %-18s %10.2f ms  (retry %.2f ms, fallback %.2f ms, inside inference)\n",
+			"fault recovery", ms(b.Retry+b.Fallback), ms(b.Retry), ms(b.Fallback))
+	}
 	fmt.Fprintf(&sb, "  %-18s %10.2f ms\n", "end-to-end", ms(total))
 	fmt.Fprintf(&sb, "  AI tax: %.2f ms (%.1f%% of end-to-end)\n", ms(b.Tax()), 100*b.TaxFraction())
 	return sb.String()

@@ -35,18 +35,35 @@ type Result struct {
 	// EnergyJ is the estimated active energy spent, in joules — the
 	// quantity NNAPI's LOW_POWER preference optimizes.
 	EnergyJ float64
+	// Retry is virtual time burned in failed transport attempts and
+	// backoff waits (injected faults). Zero on fault-free runs.
+	Retry time.Duration
+	// Faults counts injected faults absorbed while executing.
+	Faults int
+	// Err is set when the segment ultimately failed (retries exhausted
+	// or the accelerator is down); the framework above decides whether
+	// to fall back to another target.
+	Err error
 }
 
-// Total returns the segment wall time.
-func (r Result) Total() time.Duration { return r.Compute + r.Overhead + r.Queue }
+// Total returns the segment wall time, retries included.
+func (r Result) Total() time.Duration { return r.Compute + r.Overhead + r.Queue + r.Retry }
 
-// Add accumulates another result.
+// Add accumulates another result. The first error wins: once a segment
+// fails, later segments of the same report don't overwrite the cause.
 func (r Result) Add(o Result) Result {
+	err := r.Err
+	if err == nil {
+		err = o.Err
+	}
 	return Result{
 		Compute:  r.Compute + o.Compute,
 		Overhead: r.Overhead + o.Overhead,
 		Queue:    r.Queue + o.Queue,
 		EnergyJ:  r.EnergyJ + o.EnergyJ,
+		Retry:    r.Retry + o.Retry,
+		Faults:   r.Faults + o.Faults,
+		Err:      err,
 	}
 }
 
@@ -348,7 +365,8 @@ func (t *DSPTarget) InitGraph(ops []*nn.Op, dt tensor.DType, done func(Result)) 
 		time.Duration(len(ops))*120*time.Microsecond
 	t.channel.InvokeSpan(weights, hold, nil, "graph-init", func(b fastrpc.Breakdown) {
 		if done != nil {
-			done(Result{Compute: b.Exec, Overhead: b.Setup + b.Transport, Queue: b.Queue})
+			done(Result{Compute: b.Exec, Overhead: b.Setup + b.Transport, Queue: b.Queue,
+				Retry: b.Retry, Faults: b.Faults, Err: b.Err})
 		}
 	})
 }
@@ -376,6 +394,9 @@ func (t *DSPTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry
 				Overhead: b.Setup + b.Transport,
 				Queue:    b.Queue,
 				EnergyJ:  t.dev.ActivePowerW * b.Exec.Seconds(),
+				Retry:    b.Retry,
+				Faults:   b.Faults,
+				Err:      b.Err,
 			})
 		}
 	})

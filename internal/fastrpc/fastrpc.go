@@ -4,11 +4,21 @@
 // crossings, cache maintenance for shared buffers, and the co-processor
 // dispatch. The DSP itself is a capacity-1 resource, so concurrent
 // clients queue (the multi-tenancy effect of Fig. 9).
+//
+// The transport is fallible when a faults.Injector is attached: invoke
+// attempts can fail in transport or hang until their deadline, session
+// setup can fail (leaving the channel cold and re-initializable),
+// driver stalls stretch DSP occupancy, and a thermal trip takes the
+// accelerator down for good. The channel retries retryable failures
+// with exponential backoff; every failed attempt and backoff wait
+// consumes virtual time and is reported in Breakdown.Retry — that time
+// is pure AI tax.
 package fastrpc
 
 import (
 	"time"
 
+	"aitax/internal/faults"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
 	"aitax/internal/telemetry"
@@ -22,12 +32,27 @@ type Breakdown struct {
 	Transport time.Duration
 	// Queue is time spent waiting for the DSP behind other clients.
 	Queue time.Duration
-	// Exec is the on-DSP execution time.
+	// Exec is the on-DSP execution time (including any injected driver
+	// stall — the run-to-run variability tail of §III).
 	Exec time.Duration
+	// Retry is virtual time burned by failed attempts and backoff waits
+	// before the call succeeded (or gave up). Zero on fault-free calls.
+	Retry time.Duration
+	// Attempts is how many invoke attempts ran (1 on fault-free calls,
+	// 0 when session setup itself failed).
+	Attempts int
+	// Faults counts injected faults this call absorbed (failed attempts
+	// plus driver stalls).
+	Faults int
+	// Err is the terminal failure after retries were exhausted, or nil.
+	// When Err is set only Setup and Retry carry time.
+	Err error
 }
 
-// Total returns the end-to-end call latency.
-func (b Breakdown) Total() time.Duration { return b.Setup + b.Transport + b.Queue + b.Exec }
+// Total returns the end-to-end call latency, retries included.
+func (b Breakdown) Total() time.Duration {
+	return b.Setup + b.Transport + b.Queue + b.Exec + b.Retry
+}
 
 // Stage is one labelled step of the Fig. 7 call flow.
 type Stage struct {
@@ -42,7 +67,7 @@ type Channel struct {
 	dsp    *sim.Resource
 
 	state   int // 0 = cold, 1 = setting up, 2 = ready
-	waiters []func()
+	waiters []func(error)
 
 	// Tracer, when set, records each call's sub-steps (rpc-down, the DSP
 	// execution, rpc-up) as spans with CPU↔DSP flow links. Nil disables
@@ -51,11 +76,16 @@ type Channel struct {
 	// Metrics, when set, aggregates per-call transport/queue/exec
 	// latencies. Nil disables collection at zero cost.
 	Metrics *telemetry.Registry
+	// Faults, when set, injects transport/timeout/setup/stall/thermal
+	// failures into the call flow. Nil keeps the channel infallible.
+	Faults *faults.Injector
 
 	// Accounting.
 	calls          int
 	setupPaid      bool
 	transportTotal time.Duration
+	retryTotal     time.Duration
+	failedCalls    int
 }
 
 const (
@@ -76,10 +106,19 @@ func (c *Channel) Ready() bool { return c.state == stateReady }
 // Calls returns the number of completed invocations.
 func (c *Channel) Calls() int { return c.calls }
 
+// FailedCalls returns the number of invocations that exhausted their
+// retries (or hit a non-retryable fault) and reported an error.
+func (c *Channel) FailedCalls() int { return c.failedCalls }
+
+// RetryTotal returns the cumulative virtual time burned in failed
+// attempts and backoff waits across all calls.
+func (c *Channel) RetryTotal() time.Duration { return c.retryTotal }
+
 // Invoke offloads a unit of DSP work: execTime on the DSP moving
 // payloadBytes through shared buffers. onDone receives the per-call
 // breakdown. The first call on a cold channel pays the session setup —
-// the cold-start penalty of §IV-C.
+// the cold-start penalty of §IV-C. Check Breakdown.Err: with a fault
+// injector attached the call can fail after exhausting its retries.
 func (c *Channel) Invoke(payloadBytes int64, execTime time.Duration, onDone func(Breakdown)) {
 	c.InvokeSpan(payloadBytes, execTime, nil, "dsp-exec", onDone)
 }
@@ -93,34 +132,74 @@ func (c *Channel) InvokeSpan(payloadBytes int64, execTime time.Duration, parent 
 		panic("fastrpc: negative invoke arguments")
 	}
 	issued := c.eng.Now()
-	start := func() {
+	start := func(err error) {
+		if err != nil {
+			// Session setup never came up: the call fails without an
+			// invoke attempt. The wait is pure retry tax.
+			wasted := c.eng.Now().Sub(issued)
+			c.failCall(Breakdown{Retry: wasted, Err: err}, parent, onDone)
+			return
+		}
 		setupShare := c.eng.Now().Sub(issued)
 		if setupShare > 0 {
 			c.Tracer.Emit("rpc-setup", "fastrpc", telemetry.TrackCPU, parent, issued, c.eng.Now())
 		}
-		c.invokeWarm(payloadBytes, execTime, setupShare, parent, label, onDone)
+		c.invokeAttempt(1, 0, payloadBytes, execTime, setupShare, parent, label, onDone)
 	}
 	switch c.state {
 	case stateReady:
-		start()
+		start(nil)
 	case stateSettingUp:
 		c.waiters = append(c.waiters, start)
 	case stateCold:
 		c.state = stateSettingUp
 		c.waiters = append(c.waiters, start)
-		c.eng.After(c.params.SessionSetup, func() {
-			c.state = stateReady
-			c.setupPaid = true
-			ws := c.waiters
-			c.waiters = nil
-			for _, w := range ws {
-				w()
-			}
-		})
+		c.beginSetup(1)
 	}
 }
 
-func (c *Channel) invokeWarm(payloadBytes int64, execTime time.Duration, setupShare time.Duration, parent *telemetry.ActiveSpan, label string, onDone func(Breakdown)) {
+// beginSetup runs one session-setup attempt. Setup failures are retried
+// with the same backoff policy as invokes; if every attempt fails the
+// channel returns to cold — not Ready — so a later call can try to
+// establish the session from scratch.
+func (c *Channel) beginSetup(attempt int) {
+	t0 := c.eng.Now()
+	c.eng.After(c.params.SessionSetup, func() {
+		if err := c.Faults.SessionSetup(); err != nil {
+			c.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", faults.SiteSessionSetup.String()))
+			if attempt < c.Faults.MaxAttempts() {
+				backoff := c.Faults.BackoffFor(attempt)
+				c.eng.After(backoff, func() {
+					c.Tracer.Emit("rpc-retry", "faults", telemetry.TrackCPU, nil, t0, c.eng.Now())
+					c.Metrics.Inc("aitax_faults_retries_total")
+					c.beginSetup(attempt + 1)
+				})
+				return
+			}
+			// Exhausted: the channel is cold again, and every queued
+			// caller learns the session never came up.
+			c.state = stateCold
+			ws := c.waiters
+			c.waiters = nil
+			ferr := &faults.Error{Site: faults.SiteSessionSetup, Attempts: attempt, Target: "fastrpc"}
+			for _, w := range ws {
+				w(ferr)
+			}
+			return
+		}
+		c.state = stateReady
+		c.setupPaid = true
+		ws := c.waiters
+		c.waiters = nil
+		for _, w := range ws {
+			w(nil)
+		}
+	})
+}
+
+// invokeAttempt runs one invoke attempt; retryAccum carries the virtual
+// time already burned by earlier failed attempts and backoffs.
+func (c *Channel) invokeAttempt(attempt int, retryAccum time.Duration, payloadBytes int64, execTime, setupShare time.Duration, parent *telemetry.ActiveSpan, label string, onDone func(Breakdown)) {
 	// Outbound: user→kernel crossing ×2 (submit + driver signal), cache
 	// flush for the payload, DSP wakeup.
 	kb := (payloadBytes + 1023) / 1024
@@ -129,18 +208,86 @@ func (c *Channel) invokeWarm(payloadBytes int64, execTime time.Duration, setupSh
 	inbound := 2 * c.params.KernelCrossing // completion signal + return
 
 	t0 := c.eng.Now()
+	out := c.Faults.RPCAttempt(t0)
+	switch out.Kind {
+	case faults.RPCAccelDown:
+		// Thermal trip: the driver rejects the submit ioctl. Not
+		// retryable — the accelerator is not coming back this run.
+		if out.TripFirst {
+			c.Tracer.Instant("thermal-trip", "faults", telemetry.TrackDSP, parent, t0)
+			c.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", faults.SiteThermalTrip.String()))
+		}
+		cost := 2 * c.params.KernelCrossing
+		c.eng.After(cost, func() {
+			c.failCall(Breakdown{
+				Setup:    setupShare,
+				Retry:    retryAccum + cost,
+				Attempts: attempt,
+				Faults:   attempt - 1,
+				Err:      &faults.Error{Site: faults.SiteThermalTrip, Attempts: attempt, Target: label},
+			}, parent, onDone)
+		})
+		return
+	case faults.RPCTransportError, faults.RPCTimeout:
+		var cost time.Duration
+		var site faults.Site
+		if out.Kind == faults.RPCTransportError {
+			// The submit path completes, then the driver signals the
+			// failure back with one more kernel crossing.
+			cost = outbound + c.params.KernelCrossing
+			site = faults.SiteRPCTransport
+		} else {
+			// The call is lost; the caller waits out its deadline.
+			cost = c.Faults.Deadline()
+			site = faults.SiteRPCTimeout
+		}
+		c.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", site.String()))
+		if attempt < c.Faults.MaxAttempts() {
+			backoff := c.Faults.BackoffFor(attempt)
+			c.eng.After(cost+backoff, func() {
+				c.Tracer.Emit("rpc-retry", "faults", telemetry.TrackCPU, parent, t0, c.eng.Now())
+				c.Metrics.Inc("aitax_faults_retries_total")
+				c.Metrics.Observe("aitax_faults_retry_ms", float64(cost+backoff)/float64(time.Millisecond))
+				c.invokeAttempt(attempt+1, retryAccum+cost+backoff, payloadBytes, execTime, setupShare, parent, label, onDone)
+			})
+		} else {
+			c.eng.After(cost, func() {
+				c.failCall(Breakdown{
+					Setup:    setupShare,
+					Retry:    retryAccum + cost,
+					Attempts: attempt,
+					Faults:   attempt,
+					Err:      &faults.Error{Site: site, Attempts: attempt, Target: label},
+				}, parent, onDone)
+			})
+		}
+		return
+	}
+
+	// Fault-free attempt (possibly stretched by a driver stall).
+	hold := execTime + out.Stall
+	stallFault := 0
+	if out.Stall > 0 {
+		stallFault = 1
+	}
 	c.eng.After(outbound, func() {
 		enqueued := c.eng.Now()
 		down := c.Tracer.Emit("rpc-down", "fastrpc", telemetry.TrackCPU, parent, t0, enqueued)
-		c.dsp.Acquire(execTime, func(start, end sim.Time) {
+		c.dsp.Acquire(hold, func(start, end sim.Time) {
 			queue := start.Sub(enqueued)
 			exec := c.Tracer.Emit(label, "fastrpc", telemetry.TrackDSP, parent, start, end)
 			c.Tracer.Link("fastrpc", down, exec)
+			if out.Stall > 0 {
+				c.Tracer.Emit("driver-stall", "faults", telemetry.TrackDSP, exec, end.Add(-out.Stall), end)
+				c.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", faults.SiteDriverStall.String()))
+				c.Metrics.Observe("aitax_faults_stall_ms", float64(out.Stall)/float64(time.Millisecond))
+			}
 			c.eng.After(inbound, func() {
 				up := c.Tracer.Emit("rpc-up", "fastrpc", telemetry.TrackCPU, parent, end, c.eng.Now())
 				c.Tracer.Link("fastrpc", exec, up)
 				c.calls++
 				c.transportTotal += outbound + inbound
+				c.retryTotal += retryAccum
 				c.Metrics.Inc("aitax_fastrpc_calls_total")
 				c.Metrics.Observe("aitax_fastrpc_transport_ms", float64(outbound+inbound)/float64(time.Millisecond))
 				c.Metrics.Observe("aitax_fastrpc_queue_ms", float64(queue)/float64(time.Millisecond))
@@ -151,12 +298,27 @@ func (c *Channel) invokeWarm(payloadBytes int64, execTime time.Duration, setupSh
 						Setup:     setupShare,
 						Transport: outbound + inbound,
 						Queue:     queue,
-						Exec:      execTime,
+						Exec:      hold,
+						Retry:     retryAccum,
+						Attempts:  attempt,
+						Faults:    attempt - 1 + stallFault,
 					})
 				}
 			})
 		})
 	})
+}
+
+// failCall finishes a call that gave up, recording the failure before
+// handing the breakdown to the caller.
+func (c *Channel) failCall(b Breakdown, parent *telemetry.ActiveSpan, onDone func(Breakdown)) {
+	c.failedCalls++
+	c.retryTotal += b.Retry
+	c.Tracer.Instant("rpc-failed", "faults", telemetry.TrackCPU, parent, c.eng.Now())
+	c.Metrics.Inc("aitax_faults_failed_calls_total")
+	if onDone != nil {
+		onDone(b)
+	}
 }
 
 // CallStages itemizes the Fig. 7 flow for a payload of the given size on

@@ -13,9 +13,11 @@ import (
 	"time"
 
 	"aitax/internal/driver"
+	"aitax/internal/faults"
 	"aitax/internal/nn"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 )
 
@@ -62,6 +64,10 @@ type CompiledModel struct {
 	// ReferenceFallback marks plans NNAPI abandoned for the reference
 	// CPU path (the Fig. 5 pathology).
 	ReferenceFallback bool
+	// DriverInitFailed marks plans whose vendor driver failed to bring
+	// the accelerator up (injected delegate-init fault); the whole graph
+	// was re-planned onto the CPU fallback during compilation.
+	DriverInitFailed bool
 
 	probed bool // the one-time DSP attempt of a fallback plan happened
 }
@@ -118,6 +124,16 @@ type Framework struct {
 	// MaxQuantPartitions is the shatter threshold beyond which a
 	// quantized plan is abandoned for the reference path.
 	MaxQuantPartitions int
+
+	// Tracer, when set, records fallback events. Nil disables.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, counts injected faults and fallbacks. Nil
+	// disables.
+	Metrics *telemetry.Registry
+	// Faults, when set, injects driver-init failures at compile time and
+	// lets partition execution errors trigger the CPU fallback. Nil
+	// keeps the framework infallible.
+	Faults *faults.Injector
 }
 
 // Config carries the targets for New.
@@ -201,6 +217,17 @@ func (f *Framework) Compile(g *nn.Graph, dt tensor.DType, pref Preference) *Comp
 		// to its reference implementation for the whole graph.
 		cm.ReferenceFallback = true
 		cm.Partitions = []Partition{{Target: f.ReferenceCPU, Ops: g.Ops()}}
+	} else if cm.AccelPartitions() > 0 {
+		// The vendor driver's accelerator bring-up can fail outright
+		// (injected fault); NNAPI re-plans the whole graph onto its CPU
+		// fallback and eats the second planning pass.
+		if err := f.Faults.DelegateInit(accel.Name()); err != nil {
+			cm.DriverInitFailed = true
+			cm.Partitions = []Partition{{Target: f.FallbackCPU, Ops: g.Ops()}}
+			cm.CompileTime += time.Duration(g.NumOps()) * f.CompilePerOp / 2
+			f.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", faults.SiteDelegateInit.String()))
+			f.Metrics.Inc(telemetry.Labeled("aitax_faults_fallbacks_total", "layer", "nnapi-compile"))
+		}
 	}
 	return cm
 }
@@ -212,11 +239,20 @@ type Report struct {
 	Transitions int
 	// PerTarget accumulates wall time by target name.
 	PerTarget map[string]time.Duration
+	// Fallbacks counts partitions that failed on the accelerator and
+	// were re-run on the CPU fallback this execution.
+	Fallbacks int
+	// FallbackCost is the extra handoff/re-planning time those
+	// fallbacks burned (the failed attempts' retry time is in Retry).
+	FallbackCost time.Duration
 }
 
 // Execute runs a compiled plan: partitions execute in order, each
-// boundary paying the transition overhead. done receives the aggregated
-// report.
+// boundary paying the transition overhead. A partition that fails on
+// the accelerator (injected fault, retries exhausted) is re-planned
+// onto the CPU fallback — permanently, like production NNAPI dropping a
+// misbehaving driver — and re-run there after a handoff penalty. done
+// receives the aggregated report.
 func (f *Framework) Execute(cm *CompiledModel, done func(Report)) {
 	if cm.ReferenceFallback && !cm.probed {
 		// The driver's one-time attempt to bring the graph up on the
@@ -242,6 +278,31 @@ func (f *Framework) Execute(cm *CompiledModel, done func(Report)) {
 		p := cm.Partitions[i]
 		exec := func() {
 			p.Target.Execute(p.Ops, cm.DType, func(res driver.Result) {
+				if res.Err != nil && p.Target != f.FallbackCPU && p.Target != f.ReferenceCPU {
+					// The accelerator gave up on this partition. Absorb
+					// the failed attempt's time (it really passed), pay
+					// the handoff + re-planning penalty, move the
+					// partition to the CPU fallback for good, and re-run.
+					res.Err = nil
+					rep.Result = rep.Result.Add(res)
+					rep.PerTarget[p.Target.Name()] += res.Total()
+					penalty := f.TransitionOverhead + time.Duration(len(p.Ops))*f.CompilePerOp/2
+					rep.Fallbacks++
+					rep.FallbackCost += penalty
+					rep.Overhead += penalty
+					f.Tracer.Instant("nnapi-fallback", "faults", telemetry.TrackCPU, nil, f.eng.Now())
+					f.Metrics.Inc(telemetry.Labeled("aitax_faults_fallbacks_total", "layer", "nnapi"))
+					f.Metrics.Observe("aitax_faults_fallback_ms", float64(penalty)/float64(time.Millisecond))
+					cm.Partitions[i].Target = f.FallbackCPU
+					f.eng.After(penalty, func() {
+						f.FallbackCPU.Execute(p.Ops, cm.DType, func(res2 driver.Result) {
+							rep.Result = rep.Result.Add(res2)
+							rep.PerTarget[f.FallbackCPU.Name()] += res2.Total()
+							runPart(i + 1)
+						})
+					})
+					return
+				}
 				rep.Result = rep.Result.Add(res)
 				rep.PerTarget[p.Target.Name()] += res.Total()
 				runPart(i + 1)

@@ -219,6 +219,16 @@ func (r *Registry) Quantile(name string, q float64) float64 {
 	return h.quantile(q)
 }
 
+// CounterNames returns the counter series names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeysF(r.counters)
+}
+
 // HistogramNames returns the histogram series names, sorted.
 func (r *Registry) HistogramNames() []string {
 	if r == nil {

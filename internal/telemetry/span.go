@@ -156,6 +156,20 @@ func (t *Tracer) Emit(name, component string, track Track, parent *ActiveSpan, s
 	return t.record(name, component, track, parent, start, end)
 }
 
+// Instant records a zero-length marker span at the given virtual time —
+// a point event (fault injected, fallback taken, thermal trip) rather
+// than an interval. Exports distinguish instants from ordinary spans by
+// the "instant" attribute; the Chrome recorder renders them as "i"
+// events on the span's track. On a nil tracer it returns nil.
+func (t *Tracer) Instant(name, component string, track Track, parent *ActiveSpan, at sim.Time) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	a := t.record(name, component, track, parent, at, at)
+	a.SetAttr("instant", "1")
+	return a
+}
+
 func (t *Tracer) record(name, component string, track Track, parent *ActiveSpan, start, end sim.Time) *ActiveSpan {
 	var pid int64
 	if parent != nil && parent.t == t {

@@ -12,6 +12,7 @@ import (
 
 	"aitax/internal/driver"
 	"aitax/internal/fastrpc"
+	"aitax/internal/faults"
 	"aitax/internal/models"
 	"aitax/internal/nn"
 	"aitax/internal/nnapi"
@@ -71,6 +72,11 @@ type Runtime struct {
 	// Metrics, when set, aggregates counters and latency histograms from
 	// the same layers. Nil disables collection.
 	Metrics *telemetry.Registry
+	// Faults, when set, injects offload failures (FastRPC errors,
+	// delegate-init failures, stalls, thermal trips) into every channel
+	// and framework built from this runtime. Nil keeps the stack
+	// infallible and byte-identical to a build without fault injection.
+	Faults *faults.Injector
 }
 
 // NewRuntime creates a runtime on a fresh platform.
@@ -98,6 +104,7 @@ func (rt *Runtime) newChannel() *fastrpc.Channel {
 	ch := fastrpc.NewChannel(rt.Eng, rt.Platform.RPC, rt.DSP)
 	ch.Tracer = rt.Tracer
 	ch.Metrics = rt.Metrics
+	ch.Faults = rt.Faults
 	return ch
 }
 
@@ -111,13 +118,17 @@ func (rt *Runtime) NewNNAPI() *nnapi.Framework {
 	cpu.Tracer = rt.Tracer
 	ref := driver.NewReferenceCPUTarget("nnapi-ref", rt.Sch, &p.Big)
 	ref.Tracer = rt.Tracer
-	return nnapi.New(nnapi.Config{
+	fw := nnapi.New(nnapi.Config{
 		Engine:       rt.Eng,
 		AccelFP32:    gpu,
 		AccelInt8:    driver.NewDSPTarget("nnapi-dsp", &p.DSP, rt.newChannel(), 0.6, driver.NNAPIVendorSupports),
 		FallbackCPU:  cpu,
 		ReferenceCPU: ref,
 	})
+	fw.Tracer = rt.Tracer
+	fw.Metrics = rt.Metrics
+	fw.Faults = rt.Faults
+	return fw
 }
 
 // NewSNPE builds this process's SNPE SDK instance.
@@ -165,6 +176,13 @@ type Report struct {
 	driver.Result
 	// Transitions counts delegate partition boundaries crossed.
 	Transitions int
+	// FellBack reports that the delegate failed mid-run during this
+	// invocation and the graph was re-planned onto the CPU interpreter
+	// (production TFLite's graceful degradation).
+	FellBack bool
+	// FallbackCost is the delegate teardown + CPU re-init time this
+	// invocation paid for that degradation.
+	FallbackCost time.Duration
 }
 
 type segment struct {
@@ -187,6 +205,7 @@ type Interpreter struct {
 	graph    *nn.Graph // possibly fused view of Model.Graph
 
 	initialized bool
+	fellBack    bool
 	// InitTime is the one-time load+compile cost (§IV-C notes the TFLite
 	// benchmark tool breaks out model initialization time).
 	InitTime time.Duration
@@ -353,11 +372,56 @@ func (ip *Interpreter) Init(done func()) {
 	}
 	ip.InitTime = load + build + compile
 	ip.rt.Eng.After(ip.InitTime, func() {
+		// Delegate bring-up (shader compile, DSP graph download) can be
+		// rejected by the driver. Production TFLite answers by tearing
+		// the delegate down and planning the whole graph on the CPU —
+		// the run completes, slower, and the extra init time is tax.
+		var accel string
+		switch ip.opts.Delegate {
+		case DelegateGPU:
+			accel = "gpu-delegate"
+		case DelegateHexagon:
+			accel = "hexagon-delegate"
+		}
+		if accel != "" {
+			if err := ip.rt.Faults.DelegateInit(accel); err != nil {
+				ip.rt.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", "delegate-init"))
+				extra := ip.fallBackToCPU(nil)
+				ip.InitTime += extra
+				ip.rt.Eng.After(extra, func() {
+					ip.initialized = true
+					if done != nil {
+						done()
+					}
+				})
+				return
+			}
+		}
 		ip.initialized = true
 		if done != nil {
 			done()
 		}
 	})
+}
+
+// FellBack reports whether the delegate was abandoned for the CPU
+// interpreter (at init or mid-run).
+func (ip *Interpreter) FellBack() bool { return ip.fellBack }
+
+// fallBackToCPU re-plans the whole graph onto the CPU interpreter and
+// returns the teardown + re-init cost the caller must spend in virtual
+// time. The re-planning is permanent: subsequent invocations stay on
+// the CPU, reproducing production TFLite's delegate teardown.
+func (ip *Interpreter) fallBackToCPU(parent *telemetry.ActiveSpan) time.Duration {
+	ip.segments = []segment{{target: ip.cpu, ops: ip.graph.Ops()}}
+	ip.fellBack = true
+	// Teardown of the delegate's compiled graph plus a fresh CPU
+	// interpreter build for the ops it owned.
+	cost := time.Duration(ip.graph.NumOps()) * 85 * time.Microsecond
+	ip.rt.Tracer.Instant("delegate-fallback", "faults", telemetry.TrackCPU, parent, ip.rt.Eng.Now())
+	ip.rt.Metrics.Inc(telemetry.Labeled("aitax_faults_fallbacks_total", "layer", "tflite"))
+	ip.rt.Metrics.Observe("aitax_faults_fallback_ms", float64(cost)/float64(time.Millisecond))
+	return cost
 }
 
 // Invoke runs one inference; done receives the invocation report.
@@ -387,7 +451,8 @@ func (ip *Interpreter) InvokeTraced(parent *telemetry.ActiveSpan, done func(Repo
 	}
 	if ip.opts.Delegate == DelegateNNAPI {
 		ip.nnapiFW.Execute(ip.compiled, func(r nnapi.Report) {
-			finish(Report{Result: r.Result, Transitions: r.Transitions})
+			finish(Report{Result: r.Result, Transitions: r.Transitions,
+				FellBack: r.Fallbacks > 0, FallbackCost: r.FallbackCost})
 		})
 		return
 	}
@@ -401,6 +466,24 @@ func (ip *Interpreter) InvokeTraced(parent *telemetry.ActiveSpan, done func(Repo
 		s := ip.segments[i]
 		exec := func() {
 			driver.ExecuteSpan(s.target, s.ops, ip.DType, fw, func(res driver.Result) {
+				if res.Err != nil && s.target != driver.Target(ip.cpu) {
+					// The delegate died mid-run (retries exhausted or the
+					// accelerator is down). Absorb the failed attempt's
+					// time, tear the delegate down, and re-run the whole
+					// graph on the CPU interpreter — the frame completes.
+					res.Err = nil
+					rep.Result = rep.Result.Add(res)
+					t0 := ip.rt.Eng.Now()
+					cost := ip.fallBackToCPU(fw)
+					rep.FellBack = true
+					rep.FallbackCost += cost
+					rep.Overhead += cost
+					ip.rt.Eng.After(cost, func() {
+						ip.rt.Tracer.Emit("fallback", "faults", telemetry.TrackCPU, fw, t0, ip.rt.Eng.Now())
+						runSeg(0) // segments are now the single CPU plan
+					})
+					return
+				}
 				rep.Result = rep.Result.Add(res)
 				runSeg(i + 1)
 			})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"aitax/internal/sched"
@@ -132,9 +133,11 @@ var trackNames = map[telemetry.Track]string{
 
 // AddTelemetry merges a tracer's span tree and flow links into the
 // trace: spans become complete ("X") events on the pipeline process's
-// per-track threads, and each flow becomes a start/finish ("s"/"f")
-// event pair connecting its endpoints — the arrows that make FastRPC
-// CPU↔DSP round-trips visible.
+// per-track threads, point-in-time spans marked instant=1 (thermal
+// trips, delegate fallbacks, failed RPC calls) become instant ("i")
+// events, and each flow becomes a start/finish ("s"/"f") event pair
+// connecting its endpoints — the arrows that make FastRPC CPU↔DSP
+// round-trips visible.
 func (c *ChromeRecorder) AddTelemetry(spans []telemetry.Span, flows []telemetry.Flow) {
 	c.SetProcessName(PIDPipeline, "ml pipeline")
 	byID := make(map[int64]telemetry.Span, len(spans))
@@ -145,10 +148,14 @@ func (c *ChromeRecorder) AddTelemetry(spans []telemetry.Span, flows []telemetry.
 		if s.Parent != 0 {
 			args["parent"] = s.Parent
 		}
+		instant := false
 		for _, a := range s.Attrs {
 			args[a.Key] = a.Value
+			if a.Key == "instant" && a.Value == "1" {
+				instant = true
+			}
 		}
-		c.events = append(c.events, chromeEvent{
+		ev := chromeEvent{
 			Name: s.Name,
 			Cat:  s.Component,
 			Ph:   "X",
@@ -157,7 +164,11 @@ func (c *ChromeRecorder) AddTelemetry(spans []telemetry.Span, flows []telemetry.
 			PID:  PIDPipeline,
 			TID:  int(s.Track),
 			Args: args,
-		})
+		}
+		if instant {
+			ev.Ph, ev.Dur = "i", 0
+		}
+		c.events = append(c.events, ev)
 	}
 	for _, f := range flows {
 		from, okF := byID[f.From]
@@ -221,6 +232,20 @@ func (c *ChromeRecorder) AddSpanOccupancy(name string, spans []telemetry.Span, t
 			continue // emit only the final value at each timestamp
 		}
 		c.AddCounter(name, st.at, float64(open))
+	}
+}
+
+// AddFaultCounters appends one final-value counter sample per fault
+// series (the aitax_faults_* counters) at the run's end time, so a
+// faulty trace shows injected/retry/fallback totals as counter tracks.
+// Fault-free runs carry no such counters, so this adds nothing and the
+// trace stays byte-identical.
+func (c *ChromeRecorder) AddFaultCounters(reg *telemetry.Registry, at sim.Time) {
+	for _, name := range reg.CounterNames() {
+		if !strings.HasPrefix(name, "aitax_faults_") {
+			continue
+		}
+		c.AddCounter(name, at, reg.Counter(name))
 	}
 }
 

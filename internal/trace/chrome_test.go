@@ -228,3 +228,58 @@ func TestChromeSpanOccupancyCounter(t *testing.T) {
 		}
 	}
 }
+
+func TestChromeInstantSpansAndFaultCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := telemetry.NewTracer(eng.Now)
+	tr.Emit("infer", "fastrpc", telemetry.TrackDSP, nil, sim.Time(0), sim.Time(2e6))
+	tr.Instant("thermal-trip", "faults", telemetry.TrackDSP, nil, sim.Time(2e6))
+
+	reg := telemetry.NewRegistry()
+	reg.Add(`aitax_faults_injected_total{site="rpc-timeout"}`, 3)
+	reg.Add("aitax_faults_retries_total", 2)
+	reg.Add("aitax_frames_total", 7) // not a fault counter; must not render
+
+	rec := NewChromeRecorder()
+	rec.AddTelemetry(tr.Spans(), tr.Flows())
+	rec.AddFaultCounters(reg, sim.Time(3e6))
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]float64{}
+	sawTrip := false
+	for _, e := range parsed.TraceEvents {
+		switch {
+		case e.Name == "thermal-trip":
+			sawTrip = true
+			if e.Ph != "i" || e.Dur != 0 {
+				t.Fatalf("instant span rendered as ph=%q dur=%v, want i/0", e.Ph, e.Dur)
+			}
+		case e.Ph == "C":
+			v, _ := e.Args["value"].(float64)
+			counters[e.Name] = v
+		}
+	}
+	if !sawTrip {
+		t.Fatal("thermal-trip instant event missing")
+	}
+	if counters[`aitax_faults_injected_total{site="rpc-timeout"}`] != 3 ||
+		counters["aitax_faults_retries_total"] != 2 {
+		t.Fatalf("fault counter tracks wrong: %v", counters)
+	}
+	if _, ok := counters["aitax_frames_total"]; ok {
+		t.Fatal("non-fault counter leaked into fault counter tracks")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench experiments validate results examples trace-demo chaos-demo clean
+.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo clean
 
 all: build test
 
@@ -22,8 +22,21 @@ test-norace:
 test-log:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# Full benchmark sweep -> raw log + dated JSON report for the
+# regression gate. Compare two reports with:
+#   go run ./cmd/aitax-bench -compare OLD.json NEW.json
+BENCH_DATE ?= $(shell date +%Y-%m-%d)
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/aitax-bench -parse bench_output.txt -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+# Quick allocation/regression smoke: one iteration per benchmark, still
+# parsed into a JSON report (CI's bench-smoke job runs this).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ 2>&1 | tee bench_smoke.txt
+	$(GO) run ./cmd/aitax-bench -parse bench_smoke.txt -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 # Regenerate every paper table/figure plus the extensions.
 experiments:
@@ -58,4 +71,4 @@ trace-demo:
 	@echo "trace-demo ok: open trace_demo.json in ui.perfetto.dev"
 
 clean:
-	rm -f test_output.txt bench_output.txt trace_demo.json trace_demo.prom trace_demo.jsonl
+	rm -f test_output.txt bench_output.txt bench_smoke.txt trace_demo.json trace_demo.prom trace_demo.jsonl

@@ -1,0 +1,63 @@
+// Allocation pins for the in-place kernel variants: every *Into kernel
+// on the per-frame hot path must reach steady state at zero heap
+// allocations per call, so the application loop's host cost stays flat
+// no matter how many frames run. A regression here silently re-inflates
+// BenchmarkAppPipeline's allocs/op, so the pins fail fast and by name.
+package aitax_test
+
+import (
+	"testing"
+
+	"aitax"
+	"aitax/internal/imaging"
+	"aitax/internal/postproc"
+	"aitax/internal/preproc"
+	"aitax/internal/tensor"
+)
+
+func TestInPlaceKernelsDoNotAllocate(t *testing.T) {
+	frame := imaging.SyntheticFrame(480, 360, 1)
+	scene := imaging.SyntheticScene(480, 360, 1)
+	argbDst := imaging.NewARGB(480, 360)
+	yuvDst := imaging.NewYUV(480, 360)
+	resized := imaging.NewARGB(224, 224)
+	norm := &tensor.Tensor{}
+	quant := &tensor.Tensor{}
+
+	mobilenet, err := aitax.ModelByName("MobileNet 1.0 v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := aitax.FabricateOutputs(mobilenet, aitax.Float32, 1)[0]
+	var classes []postproc.Class
+
+	ssd, err := aitax.ModelByName("SSD MobileNet v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := aitax.FabricateOutputs(ssd, aitax.Float32, 1)
+	anchors := postproc.DefaultAnchors(26)[:1917]
+	boxes := postproc.DecodeBoxes(dets[0], dets[1], anchors, 0.5)
+	var kept, nmsScratch []postproc.Box
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"YUVToARGBInto", func() { imaging.YUVToARGBInto(argbDst, frame) }},
+		{"ARGBToYUVInto", func() { imaging.ARGBToYUVInto(yuvDst, scene) }},
+		{"ResizeBilinearInto", func() { preproc.ResizeBilinearInto(resized, scene, 224, 224) }},
+		{"NormalizeInto", func() { preproc.NormalizeInto(norm, resized, 127.5, 127.5) }},
+		{"QuantizeInputInto", func() {
+			preproc.QuantizeInputInto(quant, resized, tensor.UInt8, tensor.QuantParams{Scale: 1})
+		}},
+		{"TopKInto", func() { classes = postproc.TopKInto(classes[:0], scores, 5) }},
+		{"NMSInto", func() { kept = postproc.NMSInto(kept[:0], &nmsScratch, boxes, 0.5, 10) }},
+	}
+	for _, c := range cases {
+		c.fn() // reach steady state: first call may size buffers
+		if n := testing.AllocsPerRun(50, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call at steady state, want 0", c.name, n)
+		}
+	}
+}

@@ -13,11 +13,13 @@ import (
 	"time"
 
 	"aitax"
+	"aitax/internal/app"
 	"aitax/internal/bench"
 	"aitax/internal/imaging"
 	"aitax/internal/postproc"
 	"aitax/internal/preproc"
 	"aitax/internal/soc"
+	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 	"aitax/internal/tflite"
 )
@@ -209,6 +211,113 @@ func BenchmarkKeypointDecode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		postproc.DecodeKeypoints(outs[0], outs[1], 16)
+	}
+}
+
+// BenchmarkAppPipeline is the headline host-cost benchmark the
+// BENCH_*.json regression gate keys on: one fully-loaded application
+// frame — synthetic sensor content generated per frame, pre-processing,
+// NNAPI inference, real post-processing on fabricated outputs, UI —
+// with telemetry (span tree + metrics) recording enabled. It measures
+// the simulator's own host CPU and allocation cost, not virtual time.
+func BenchmarkAppPipeline(b *testing.B) {
+	m, err := aitax.ModelByName("MobileNet 1.0 v1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := tflite.NewStack(soc.Pixel3(), 1)
+	rt.Tracer = telemetry.NewTracer(rt.Eng.Now)
+	rt.Metrics = telemetry.NewRegistry()
+	a, err := app.New(rt, app.Config{
+		Model: m, DType: tensor.UInt8, Delegate: tflite.DelegateNNAPI,
+		RealPostprocess: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Camera().Synthesize = true
+	a.Init(nil)
+	rt.Eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ProcessFrame(nil)
+		rt.Eng.Run()
+	}
+}
+
+func BenchmarkARGBToYUV480p(b *testing.B) {
+	scene := imaging.SyntheticScene(480, 360, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imaging.ARGBToYUV(scene)
+	}
+}
+
+// --- In-place kernel variants (steady state must be 0 allocs/op;
+// TestInPlaceKernelsDoNotAllocate pins that, these quantify the time) ---
+
+func BenchmarkYUVToARGB480pInto(b *testing.B) {
+	frame := imaging.SyntheticFrame(480, 360, 1)
+	dst := imaging.NewARGB(480, 360)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imaging.YUVToARGBInto(dst, frame)
+	}
+}
+
+func BenchmarkARGBToYUV480pInto(b *testing.B) {
+	scene := imaging.SyntheticScene(480, 360, 1)
+	dst := imaging.NewYUV(480, 360)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imaging.ARGBToYUVInto(dst, scene)
+	}
+}
+
+func BenchmarkResizeBilinearTo224Into(b *testing.B) {
+	src := imaging.SyntheticScene(480, 360, 1)
+	dst := imaging.NewARGB(224, 224)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preproc.ResizeBilinearInto(dst, src, 224, 224)
+	}
+}
+
+func BenchmarkNormalize224Into(b *testing.B) {
+	src := imaging.SyntheticScene(224, 224, 1)
+	dst := &tensor.Tensor{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preproc.NormalizeInto(dst, src, 127.5, 127.5)
+	}
+}
+
+func BenchmarkTopK1001Into(b *testing.B) {
+	m, _ := aitax.ModelByName("MobileNet 1.0 v1")
+	outs := aitax.FabricateOutputs(m, aitax.Float32, 1)
+	var classes []postproc.Class
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classes = postproc.TopKInto(classes[:0], outs[0], 5)
+	}
+}
+
+func BenchmarkSSDDecodeNMSInto(b *testing.B) {
+	m, _ := aitax.ModelByName("SSD MobileNet v2")
+	outs := aitax.FabricateOutputs(m, aitax.Float32, 1)
+	anchors := postproc.DefaultAnchors(26)[:1917]
+	var boxes, kept, scratch []postproc.Box
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boxes = postproc.DecodeBoxesInto(boxes[:0], outs[0], outs[1], anchors, 0.5)
+		kept = postproc.NMSInto(kept[:0], &scratch, boxes, 0.5, 10)
 	}
 }
 

@@ -1,21 +1,27 @@
 // Command aitax-bench is the analogue of the TFLite command-line
 // benchmark utility: it runs one model through one delegate for N
 // measured iterations and prints per-stage means and the latency
-// distribution.
+// distribution. It is also the repo's benchmark-report tool: -parse
+// turns `go test -bench -benchmem` output into a BENCH_<date>.json
+// report, and -compare gates two reports against each other.
 //
 // Usage:
 //
 //	aitax-bench -model "MobileNet 1.0 v1" -dtype int8 -delegate nnapi -runs 100
 //	aitax-bench -list
+//	aitax-bench -parse bench_output.txt -out BENCH_2026-08-05.json
+//	aitax-bench -compare old.json new.json          # exit 1 on >10% regression
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"aitax"
+	"aitax/internal/benchfmt"
 	"aitax/internal/stats"
 )
 
@@ -54,11 +60,31 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed (0 is a valid seed)")
 	list := flag.Bool("list", false, "list model names and exit")
 	stdlib := flag.String("stdlib", "libc++", "C++ standard library: libc++ | libstdc++ (flips random-gen cost, §IV-A)")
+	parse := flag.String("parse", "", "parse `go test -bench` output from this file (\"-\" for stdin) into a JSON report")
+	out := flag.String("out", "", "with -parse: write the JSON report here (default stdout)")
+	date := flag.String("date", "", "with -parse: report date (default today, YYYY-MM-DD)")
+	compare := flag.Bool("compare", false, "compare two JSON reports (old.json new.json); exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.10, "with -compare: allowed fractional growth in ns/op or allocs/op")
 	flag.Parse()
 
 	if *list {
 		for _, n := range aitax.ModelNames() {
 			fmt.Println(n)
+		}
+		return
+	}
+	if *parse != "" {
+		check(runParse(*parse, *out, *date))
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			check(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
+		}
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		check(err)
+		if !ok {
+			os.Exit(1)
 		}
 		return
 	}
@@ -100,6 +126,71 @@ func main() {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runParse converts `go test -bench` text output into a JSON report.
+func runParse(in, out, date string) error {
+	var src io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := benchfmt.Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("no benchmark result lines found in %s", in)
+	}
+	if date == "" {
+		date = time.Now().Format("2006-01-02")
+	}
+	rep.Date = date
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return rep.Write(dst)
+}
+
+// runCompare gates a new report against an old one; ok=false means at
+// least one benchmark regressed beyond the threshold.
+func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
+	readReport := func(p string) (*benchfmt.Report, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return benchfmt.Read(f)
+	}
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	c := benchfmt.Compare(oldRep, newRep, threshold)
+	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
+		oldPath, oldRep.Date, newPath, newRep.Date, threshold*100)
+	c.Render(os.Stdout)
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed beyond %.0f%%\n", len(regs), threshold*100)
+		return false, nil
+	}
+	fmt.Println("OK: no regressions beyond threshold")
+	return true, nil
+}
 
 func check(err error) {
 	if err != nil {

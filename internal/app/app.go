@@ -114,6 +114,21 @@ type App struct {
 	frames     int
 	streaming  bool
 	preDSPDown bool // the DSP pre-processing path failed; stay on CPU
+
+	post postScratch
+}
+
+// postScratch holds the buffers runRealPostprocess recycles across
+// frames. The stage's results are inspected and discarded each frame, so
+// every buffer is safely overwritten by the next one.
+type postScratch struct {
+	deq0, deq1 *tensor.Tensor
+	classes    []postproc.Class
+	mask       []int
+	boxes      []postproc.Box
+	nms, kept  []postproc.Box
+	keypoints  []postproc.Keypoint
+	anchors    []postproc.Anchor
 }
 
 // New builds an app around a runtime.
@@ -320,6 +335,17 @@ func (a *App) ProcessFrame(done func(FrameStats)) {
 	})
 }
 
+// stageSeries are the per-stage latency series names, built once: the
+// record path runs per frame and must not rebuild labelled keys.
+var stageSeries = [...]string{
+	telemetry.Labeled("aitax_stage_ms", "stage", "capture"),
+	telemetry.Labeled("aitax_stage_ms", "stage", "pre"),
+	telemetry.Labeled("aitax_stage_ms", "stage", "inference"),
+	telemetry.Labeled("aitax_stage_ms", "stage", "post"),
+	telemetry.Labeled("aitax_stage_ms", "stage", "ui"),
+	telemetry.Labeled("aitax_stage_ms", "stage", "total"),
+}
+
 // recordFrame aggregates one frame's stage breakdown into the runtime's
 // metrics registry (no-op with metrics off).
 func (a *App) recordFrame(st FrameStats) {
@@ -328,15 +354,10 @@ func (a *App) recordFrame(st FrameStats) {
 		return
 	}
 	m.Inc("aitax_frames_total")
-	for _, s := range []struct {
-		stage string
-		d     time.Duration
-	}{
-		{"capture", st.Capture}, {"pre", st.Pre}, {"inference", st.Inference},
-		{"post", st.Post}, {"ui", st.UI}, {"total", st.Total},
+	for i, d := range [...]time.Duration{
+		st.Capture, st.Pre, st.Inference, st.Post, st.UI, st.Total,
 	} {
-		m.Observe(telemetry.Labeled("aitax_stage_ms", "stage", s.stage),
-			float64(s.d)/float64(time.Millisecond))
+		m.Observe(stageSeries[i], float64(d)/float64(time.Millisecond))
 	}
 	m.Observe("aitax_frame_tax_ms", float64(st.Tax())/float64(time.Millisecond))
 	// Fault-recovery series only exist once a fault actually fired, so
@@ -444,30 +465,37 @@ func (a *App) runPre(w work.Work, native bool, parent *telemetry.ActiveSpan, don
 // outputs so example binaries produce inspectable results.
 func (a *App) runRealPostprocess() {
 	m := a.ip.Model
+	s := &a.post
 	outs := a.ip.FabricateOutputs()
 	switch m.Task {
 	case models.Classification, models.FaceRecognition, models.LanguageProcessing:
 		out := outs[0]
 		if a.ip.DType != tensor.Float32 {
-			out = postproc.Dequantize(out)
+			s.deq0 = postproc.DequantizeInto(s.deq0, out)
+			out = s.deq0
 		}
-		postproc.TopK(out, 5)
+		s.classes = postproc.TopKInto(s.classes[:0], out, 5)
 	case models.Segmentation:
-		postproc.FlattenMask(outs[0])
+		s.mask = postproc.FlattenMaskInto(s.mask[:0], outs[0])
 	case models.ObjectDetection:
 		n := m.OutputShapes[0][1]
 		locs, scores := outs[0], outs[1]
 		if a.ip.DType != tensor.Float32 {
-			locs, scores = postproc.Dequantize(locs), postproc.Dequantize(scores)
+			s.deq0 = postproc.DequantizeInto(s.deq0, locs)
+			s.deq1 = postproc.DequantizeInto(s.deq1, scores)
+			locs, scores = s.deq0, s.deq1
 		}
-		grid := 1
-		for grid*grid*3 < n {
-			grid++
+		if len(s.anchors) < n {
+			grid := 1
+			for grid*grid*3 < n {
+				grid++
+			}
+			s.anchors = postproc.DefaultAnchors(grid)
 		}
-		anchors := postproc.DefaultAnchors(grid)[:n]
-		postproc.NMS(postproc.DecodeBoxes(locs, scores, anchors, 0.5), 0.5, 10)
+		s.boxes = postproc.DecodeBoxesInto(s.boxes[:0], locs, scores, s.anchors[:n], 0.5)
+		s.kept = postproc.NMSInto(s.kept[:0], &s.nms, s.boxes, 0.5, 10)
 	case models.PoseEstimation:
-		postproc.DecodeKeypoints(outs[0], outs[1], m.PoseOutputStride)
+		s.keypoints = postproc.DecodeKeypointsInto(s.keypoints[:0], outs[0], outs[1], m.PoseOutputStride)
 	}
 }
 

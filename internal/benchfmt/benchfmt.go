@@ -1,0 +1,270 @@
+// Package benchfmt parses `go test -bench -benchmem` output into a
+// stable JSON benchmark report (the BENCH_<date>.json artifact `make
+// bench` emits) and compares two reports for regressions — the gate that
+// protects the allocation-free hot path from bit-rot.
+//
+// The format is deliberately small: one entry per benchmark name with
+// ns/op, B/op, allocs/op and any custom ReportMetric units. Duplicate
+// runs of one benchmark (e.g. -count > 1, or the same name in several
+// packages) collapse to the fastest run, the usual best-of-N convention
+// for throughput benchmarks.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measured result.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// so reports compare across machines with different core counts.
+	Name string `json:"name"`
+	// Iterations is b.N of the kept (fastest) run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -benchmem's allocation figures.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries custom b.ReportMetric units (e.g. "app/cli-x").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	// Date is the emission date (YYYY-MM-DD), supplied by the caller.
+	Date string `json:"date"`
+	// GoOS/GoArch/CPU echo the `go test` header lines when present.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Entries are the benchmarks, sorted by name.
+	Entries []Entry `json:"benchmarks"`
+}
+
+// Lookup returns the entry with the given name, or nil.
+func (r *Report) Lookup(name string) *Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// maxprocsSuffix matches the "-8" GOMAXPROCS suffix of a benchmark name.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and collects benchmark entries.
+// Non-benchmark lines (test output, PASS/ok, shape-check notes) are
+// ignored. Duplicate names keep the run with the lowest ns/op.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	best := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if prev, seen := best[e.Name]; !seen || e.NsPerOp < prev.NsPerOp {
+			best[e.Name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range best {
+		rep.Entries = append(rep.Entries, e)
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].Name < rep.Entries[j].Name })
+	return rep, nil
+}
+
+// parseBenchLine parses one "BenchmarkFoo-8  100  123 ns/op  45 B/op ..."
+// result line.
+func parseBenchLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{
+		Name:       maxprocsSuffix.ReplaceAllString(f[0], ""),
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	if e.NsPerOp == 0 && e.Iterations == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read deserializes a report written by Write.
+func Read(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name string
+	// OldNs/NewNs are ns/op; NsRatio is New/Old (1.0 = unchanged).
+	OldNs, NewNs, NsRatio float64
+	// OldAllocs/NewAllocs are allocs/op; AllocsRatio is New/Old, with
+	// 0→0 reported as 1.0 and 0→n as +Inf.
+	OldAllocs, NewAllocs, AllocsRatio float64
+	// Regressed marks deltas beyond the comparison threshold.
+	Regressed bool
+}
+
+// Comparison is the outcome of comparing two reports.
+type Comparison struct {
+	Deltas []Delta
+	// OnlyOld/OnlyNew list benchmarks present in just one report.
+	OnlyOld, OnlyNew []string
+}
+
+// Regressions returns the regressed deltas.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// minNsFloor ignores ns/op regressions on benchmarks faster than this
+// (sub-microsecond timings are dominated by harness noise); allocs/op is
+// exact and always gated.
+const minNsFloor = 1000.0
+
+// ratio returns new/old with the 0/0 = 1 convention; anything appearing
+// where there was nothing (0 → n) is +Inf, which every threshold flags.
+func ratio(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return newV / oldV
+}
+
+// Compare matches benchmarks by name and flags entries whose ns/op or
+// allocs/op grew by more than threshold (0.10 = 10%).
+func Compare(old, new *Report, threshold float64) *Comparison {
+	c := &Comparison{}
+	newSeen := make(map[string]bool)
+	for _, ne := range new.Entries {
+		newSeen[ne.Name] = true
+	}
+	for _, oe := range old.Entries {
+		ne := new.Lookup(oe.Name)
+		if ne == nil {
+			c.OnlyOld = append(c.OnlyOld, oe.Name)
+			continue
+		}
+		d := Delta{
+			Name:        oe.Name,
+			OldNs:       oe.NsPerOp,
+			NewNs:       ne.NsPerOp,
+			NsRatio:     ratio(oe.NsPerOp, ne.NsPerOp),
+			OldAllocs:   oe.AllocsPerOp,
+			NewAllocs:   ne.AllocsPerOp,
+			AllocsRatio: ratio(oe.AllocsPerOp, ne.AllocsPerOp),
+		}
+		if d.NsRatio > 1+threshold && oe.NsPerOp >= minNsFloor {
+			d.Regressed = true
+		}
+		if d.AllocsRatio > 1+threshold {
+			d.Regressed = true
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, ne := range new.Entries {
+		if old.Lookup(ne.Name) == nil {
+			c.OnlyNew = append(c.OnlyNew, ne.Name)
+		}
+	}
+	return c
+}
+
+// Render writes a human-readable comparison table; regressions are
+// marked "REGRESSED".
+func (c *Comparison) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %7.1f%% %10.0f %10.0f %7.1f%%%s\n",
+			d.Name, d.OldNs, d.NewNs, (d.NsRatio-1)*100,
+			d.OldAllocs, d.NewAllocs, (d.AllocsRatio-1)*100, mark)
+	}
+	for _, n := range c.OnlyOld {
+		fmt.Fprintf(w, "%-44s only in old report\n", n)
+	}
+	for _, n := range c.OnlyNew {
+		fmt.Fprintf(w, "%-44s only in new report\n", n)
+	}
+}

@@ -1,0 +1,137 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: aitax
+cpu: AMD EPYC 7B13
+BenchmarkAppPipeline-8   	     100	  11054321 ns/op	  987654 B/op	    1234 allocs/op
+BenchmarkYUVToARGB480p-8 	    2000	    654321 ns/op	  691200 B/op	       1 allocs/op
+BenchmarkTopK-8          	   10000	    123456 ns/op	   49152 B/op	       3 allocs/op
+BenchmarkWithMetric-8    	     500	   2000000 ns/op	       12.5 frames/s	       0 B/op	       0 allocs/op
+some unrelated line
+PASS
+ok  	aitax	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %q %q %q", rep.GoOS, rep.GoArch, rep.CPU)
+	}
+	if len(rep.Entries) != 4 {
+		t.Fatalf("got %d entries, want 4: %+v", len(rep.Entries), rep.Entries)
+	}
+	e := rep.Lookup("BenchmarkAppPipeline")
+	if e == nil {
+		t.Fatal("BenchmarkAppPipeline missing (suffix not stripped?)")
+	}
+	if e.Iterations != 100 || e.NsPerOp != 11054321 || e.BytesPerOp != 987654 || e.AllocsPerOp != 1234 {
+		t.Fatalf("entry = %+v", *e)
+	}
+	m := rep.Lookup("BenchmarkWithMetric")
+	if m == nil || m.Metrics["frames/s"] != 12.5 {
+		t.Fatalf("custom metric not parsed: %+v", m)
+	}
+}
+
+func TestParseKeepsFastestDuplicate(t *testing.T) {
+	out := `BenchmarkX-8   100   2000 ns/op   16 B/op   1 allocs/op
+BenchmarkX-8   200   1500 ns/op   16 B/op   1 allocs/op
+`
+	rep, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].NsPerOp != 1500 {
+		t.Fatalf("entries = %+v", rep.Entries)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Date = "2026-08-05"
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != "2026-08-05" || len(back.Entries) != len(rep.Entries) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if got := back.Lookup("BenchmarkTopK"); got == nil || got.AllocsPerOp != 3 {
+		t.Fatalf("round trip entry mismatch: %+v", got)
+	}
+}
+
+func mkReport(entries ...Entry) *Report { return &Report{Entries: entries} }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := mkReport(
+		Entry{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 100},
+		Entry{Name: "BenchmarkB", NsPerOp: 100000, AllocsPerOp: 10},
+		Entry{Name: "BenchmarkGone", NsPerOp: 5000},
+	)
+	newR := mkReport(
+		Entry{Name: "BenchmarkA", NsPerOp: 120000, AllocsPerOp: 100}, // +20% ns: regression
+		Entry{Name: "BenchmarkB", NsPerOp: 90000, AllocsPerOp: 12},   // +20% allocs: regression
+		Entry{Name: "BenchmarkNew", NsPerOp: 1},
+	)
+	c := Compare(old, newR, 0.10)
+	regs := c.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("OnlyNew = %v", c.OnlyNew)
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	old := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 100})
+	newR := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 105000, AllocsPerOp: 105})
+	if regs := Compare(old, newR, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+}
+
+func TestCompareNoiseFloorAndZeroAllocs(t *testing.T) {
+	// ns/op regressions below the noise floor are ignored; an alloc
+	// appearing on a previously allocation-free path is always flagged.
+	old := mkReport(Entry{Name: "BenchmarkTiny", NsPerOp: 50, AllocsPerOp: 0})
+	newR := mkReport(Entry{Name: "BenchmarkTiny", NsPerOp: 90, AllocsPerOp: 0})
+	if regs := Compare(old, newR, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("noise-floor delta flagged: %+v", regs)
+	}
+	newR.Entries[0].AllocsPerOp = 1
+	if regs := Compare(old, newR, 0.10).Regressions(); len(regs) != 1 {
+		t.Fatalf("0→1 allocs not flagged: %+v", regs)
+	}
+}
+
+func TestRenderMarksRegressions(t *testing.T) {
+	old := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 100})
+	newR := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 150000, AllocsPerOp: 100})
+	var buf bytes.Buffer
+	Compare(old, newR, 0.10).Render(&buf)
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("render output missing REGRESSED marker:\n%s", buf.String())
+	}
+}

@@ -46,8 +46,9 @@ type Camera struct {
 	// fast default for long experiments).
 	Synthesize bool
 
-	pool []*imaging.YUVImage
-	seq  int
+	pool    []*imaging.YUVImage
+	scratch []*imaging.YUVImage // ring reused by the Synthesize path
+	seq     int
 }
 
 // DefaultPreviewW and DefaultPreviewH are the demo apps' preview size.
@@ -95,7 +96,16 @@ func (c *Camera) Capture(done func(*Frame)) {
 	c.eng.After(lat, func() {
 		var img *imaging.YUVImage
 		if c.Synthesize {
-			img = imaging.SyntheticFrame(c.Width, c.Height, uint64(5000+seq))
+			// Paint into a camera-owned scratch ring: like the pooled
+			// path, a delivered image is recycled after len(pool) more
+			// captures, which is the lifetime a preview buffer has anyway.
+			if c.scratch == nil {
+				c.scratch = make([]*imaging.YUVImage, len(c.pool))
+				for i := range c.scratch {
+					c.scratch[i] = imaging.NewYUV(c.Width, c.Height)
+				}
+			}
+			img = imaging.SyntheticFrameInto(c.scratch[seq%len(c.scratch)], uint64(5000+seq))
 		} else {
 			img = c.pool[seq%len(c.pool)]
 		}

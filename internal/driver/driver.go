@@ -16,6 +16,7 @@ import (
 
 	"aitax/internal/fastrpc"
 	"aitax/internal/nn"
+	"aitax/internal/plan"
 	"aitax/internal/sched"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
@@ -97,11 +98,47 @@ func ExecuteSpan(t Target, ops []*nn.Op, dt tensor.DType, parent *telemetry.Acti
 	t.Execute(ops, dt, done)
 }
 
-// segmentWork sums the device time of a segment at 1/efficiency.
-func segmentTime(ops []*nn.Op, dt tensor.DType, dev *soc.Device, efficiency float64) time.Duration {
+// Coster is implemented by targets that can cost an op segment ahead of
+// execution. The returned schedule (one device time per op, in segment
+// order) feeds ExecuteCosted and must reproduce exactly the per-op
+// times the target's execute loop would compute itself.
+type Coster interface {
+	OpCosts(ops []*nn.Op, dt tensor.DType) []time.Duration
+}
+
+// CostedExecutor is implemented by targets that can execute a segment
+// against a precomputed cost schedule from Coster. Results are
+// identical to ExecuteSpan; only the per-frame recomputation of device
+// times disappears.
+type CostedExecutor interface {
+	ExecuteCosted(ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result))
+}
+
+// ExecuteCosted dispatches through a target's CostedExecutor when a
+// matching schedule is supplied, falling back to ExecuteSpan (which
+// recomputes costs per op) otherwise.
+func ExecuteCosted(t Target, ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
+	if len(costs) == len(ops) && len(ops) > 0 {
+		if ce, ok := t.(CostedExecutor); ok {
+			ce.ExecuteCosted(ops, costs, dt, parent, done)
+			return
+		}
+	}
+	ExecuteSpan(t, ops, dt, parent, done)
+}
+
+// segmentTime sums the device time of a segment at 1/efficiency, using
+// the precomputed schedule when one is supplied.
+func segmentTime(ops []*nn.Op, costs []time.Duration, dt tensor.DType, dev *soc.Device, efficiency float64) time.Duration {
 	var total time.Duration
-	for _, op := range ops {
-		total += dev.TimeFor(op.Work(dt), dt)
+	if costs != nil {
+		for _, c := range costs {
+			total += c
+		}
+	} else {
+		for _, op := range ops {
+			total += dev.TimeFor(op.Work(dt), dt)
+		}
 	}
 	if efficiency > 0 && efficiency != 1 {
 		total = time.Duration(float64(total) / efficiency)
@@ -198,9 +235,20 @@ func (t *CPUTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
 	t.ExecuteSpan(ops, dt, nil, done)
 }
 
+// OpCosts implements Coster.
+func (t *CPUTarget) OpCosts(ops []*nn.Op, dt tensor.DType) []time.Duration {
+	return plan.OpCosts(ops, dt, t.dev)
+}
+
 // ExecuteSpan implements SpanExecutor: the whole segment becomes one
 // "cpu-exec" span on the CPU track.
 func (t *CPUTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
+	t.ExecuteCosted(ops, nil, dt, parent, done)
+}
+
+// ExecuteCosted implements CostedExecutor: identical to ExecuteSpan with
+// each op's device time read from the schedule instead of recomputed.
+func (t *CPUTarget) ExecuteCosted(ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
 	sp := t.Tracer.Start("cpu-exec", "driver", telemetry.TrackCPU, parent)
 	sp.SetAttr("target", t.name)
 	n := len(t.threads)
@@ -215,7 +263,12 @@ func (t *CPUTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry
 			}
 			return
 		}
-		opTime := t.dev.TimeFor(ops[i].Work(dt), dt)
+		var opTime time.Duration
+		if costs != nil {
+			opTime = costs[i]
+		} else {
+			opTime = t.dev.TimeFor(ops[i].Work(dt), dt)
+		}
 		perThread := time.Duration(float64(opTime)/(float64(n)*eff)) + t.PerOpOverhead
 		res.Compute += time.Duration(float64(opTime) / (float64(n) * eff))
 		res.Overhead += t.PerOpOverhead
@@ -289,11 +342,21 @@ func (t *GPUTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
 	t.ExecuteSpan(ops, dt, nil, done)
 }
 
+// OpCosts implements Coster.
+func (t *GPUTarget) OpCosts(ops []*nn.Op, dt tensor.DType) []time.Duration {
+	return plan.OpCosts(ops, dt, t.dev)
+}
+
 // ExecuteSpan implements SpanExecutor: the buffer map/unmap becomes a
 // "gpu-dispatch" span on the CPU track linked to a "gpu-exec" span on
 // the GPU track.
 func (t *GPUTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
-	compute := segmentTime(ops, dt, t.dev, t.Efficiency)
+	t.ExecuteCosted(ops, nil, dt, parent, done)
+}
+
+// ExecuteCosted implements CostedExecutor.
+func (t *GPUTarget) ExecuteCosted(ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
+	compute := segmentTime(ops, costs, dt, t.dev, t.Efficiency)
 	launches := time.Duration(len(ops)) * t.KernelLaunch
 	hold := compute + launches
 	t0 := t.eng.Now()
@@ -382,10 +445,20 @@ func (t *DSPTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(Result)) {
 	t.ExecuteSpan(ops, dt, nil, done)
 }
 
+// OpCosts implements Coster.
+func (t *DSPTarget) OpCosts(ops []*nn.Op, dt tensor.DType) []time.Duration {
+	return plan.OpCosts(ops, dt, t.dev)
+}
+
 // ExecuteSpan implements SpanExecutor: the FastRPC channel records the
 // rpc-down / infer / rpc-up sub-spans and their CPU↔DSP flow links.
 func (t *DSPTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
-	compute := segmentTime(ops, dt, t.dev, t.Efficiency)
+	t.ExecuteCosted(ops, nil, dt, parent, done)
+}
+
+// ExecuteCosted implements CostedExecutor.
+func (t *DSPTarget) ExecuteCosted(ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
+	compute := segmentTime(ops, costs, dt, t.dev, t.Efficiency)
 	payload := segmentIOBytes(ops, dt)
 	t.channel.InvokeSpan(payload, compute, parent, "infer", func(b fastrpc.Breakdown) {
 		if done != nil {

@@ -19,11 +19,15 @@ type YUVImage struct {
 	VU            []byte // len = Width*Height/2, pairs of (V, U)
 }
 
-// NewYUV allocates a black NV21 frame. Width and height must be even.
-func NewYUV(width, height int) *YUVImage {
+func checkYUVDims(width, height int) {
 	if width <= 0 || height <= 0 || width%2 != 0 || height%2 != 0 {
 		panic(fmt.Sprintf("imaging: invalid NV21 dimensions %dx%d", width, height))
 	}
+}
+
+// NewYUV allocates a black NV21 frame. Width and height must be even.
+func NewYUV(width, height int) *YUVImage {
+	checkYUVDims(width, height)
 	return &YUVImage{
 		Width:  width,
 		Height: height,
@@ -42,11 +46,15 @@ type ARGBImage struct {
 	Pix           []uint32 // 0xAARRGGBB
 }
 
-// NewARGB allocates a transparent-black ARGB bitmap.
-func NewARGB(width, height int) *ARGBImage {
+func checkARGBDims(width, height int) {
 	if width <= 0 || height <= 0 {
 		panic(fmt.Sprintf("imaging: invalid ARGB dimensions %dx%d", width, height))
 	}
+}
+
+// NewARGB allocates a transparent-black ARGB bitmap.
+func NewARGB(width, height int) *ARGBImage {
+	checkARGBDims(width, height)
 	return &ARGBImage{Width: width, Height: height, Pix: make([]uint32, width*height)}
 }
 
@@ -83,24 +91,32 @@ func clampU8(v int) uint8 {
 // integer conversion the Android framework applies. This is the real work
 // the "bitmap formatting" stage performs.
 func YUVToARGB(src *YUVImage) *ARGBImage {
-	dst := NewARGB(src.Width, src.Height)
+	return YUVToARGBInto(NewARGB(src.Width, src.Height), src)
+}
+
+// YUVToARGBInto is the in-place variant of YUVToARGB: it converts into
+// dst (resized to match src) and allocates nothing when dst's backing
+// array is already large enough. Returns dst.
+func YUVToARGBInto(dst *ARGBImage, src *YUVImage) *ARGBImage {
 	w, h := src.Width, src.Height
+	dst.Resize(w, h)
 	for j := 0; j < h; j++ {
-		yRow := j * w
-		vuRow := (j / 2) * w
+		yRow := src.Y[j*w : j*w+w]
+		vuRow := src.VU[(j/2)*w : (j/2)*w+w]
+		out := dst.Pix[j*w : j*w+w]
 		for i := 0; i < w; i++ {
-			y := int(src.Y[yRow+i]) - 16
+			y := int(yRow[i]) - 16
 			if y < 0 {
 				y = 0
 			}
-			vuIdx := vuRow + (i &^ 1)
-			v := int(src.VU[vuIdx]) - 128
-			u := int(src.VU[vuIdx+1]) - 128
+			vuIdx := i &^ 1
+			v := int(vuRow[vuIdx]) - 128
+			u := int(vuRow[vuIdx+1]) - 128
 			y1192 := 1192 * y
 			r := clampU8((y1192 + 1634*v) >> 10)
 			g := clampU8((y1192 - 833*v - 400*u) >> 10)
 			b := clampU8((y1192 + 2066*u) >> 10)
-			dst.Pix[yRow+i] = PackRGB(r, g, b)
+			out[i] = PackRGB(r, g, b)
 		}
 	}
 	return dst
@@ -110,19 +126,36 @@ func YUVToARGB(src *YUVImage) *ARGBImage {
 // verify the conversion round-trips within quantization error, and by the
 // capture pipeline to synthesize sensor frames from procedural bitmaps.
 func ARGBToYUV(src *ARGBImage) *YUVImage {
-	dst := NewYUV(src.Width&^1, src.Height&^1)
+	return ARGBToYUVInto(NewYUV(src.Width&^1, src.Height&^1), src)
+}
+
+// ARGBToYUVInto is the in-place variant of ARGBToYUV: it converts into
+// dst (resized to src's even dimensions) and allocates nothing when
+// dst's backing arrays are already large enough. Returns dst.
+func ARGBToYUVInto(dst *YUVImage, src *ARGBImage) *YUVImage {
+	dst.Resize(src.Width&^1, src.Height&^1)
 	w, h := dst.Width, dst.Height
 	for j := 0; j < h; j++ {
-		for i := 0; i < w; i++ {
-			r, g, b := RGB(src.At(i, j))
-			y := (66*int(r) + 129*int(g) + 25*int(b) + 128) >> 8
-			dst.Y[j*w+i] = clampU8(y + 16)
-			if j%2 == 0 && i%2 == 0 {
-				u := (-38*int(r) - 74*int(g) + 112*int(b) + 128) >> 8
-				v := (112*int(r) - 94*int(g) - 18*int(b) + 128) >> 8
-				idx := (j/2)*w + i
-				dst.VU[idx] = clampU8(v + 128)
-				dst.VU[idx+1] = clampU8(u + 128)
+		srcRow := src.Pix[j*src.Width : j*src.Width+w]
+		yRow := dst.Y[j*w : j*w+w]
+		if j%2 == 0 {
+			vuRow := dst.VU[(j/2)*w : (j/2)*w+w]
+			for i := 0; i < w; i++ {
+				r, g, b := RGB(srcRow[i])
+				y := (66*int(r) + 129*int(g) + 25*int(b) + 128) >> 8
+				yRow[i] = clampU8(y + 16)
+				if i%2 == 0 {
+					u := (-38*int(r) - 74*int(g) + 112*int(b) + 128) >> 8
+					v := (112*int(r) - 94*int(g) - 18*int(b) + 128) >> 8
+					vuRow[i] = clampU8(v + 128)
+					vuRow[i+1] = clampU8(u + 128)
+				}
+			}
+		} else {
+			for i := 0; i < w; i++ {
+				r, g, b := RGB(srcRow[i])
+				y := (66*int(r) + 129*int(g) + 25*int(b) + 128) >> 8
+				yRow[i] = clampU8(y + 16)
 			}
 		}
 	}
@@ -134,14 +167,33 @@ func ARGBToYUV(src *ARGBImage) *YUVImage {
 // seeded per-pixel noise. Content is irrelevant to pre-processing cost,
 // but structured frames give post-processing stages non-trivial inputs.
 func SyntheticScene(width, height int, seed uint64) *ARGBImage {
+	return SyntheticSceneInto(GetARGB(width, height), seed)
+}
+
+// SyntheticSceneInto paints the procedural scene into dst, overwriting
+// every pixel. The pixel content for a given (dimensions, seed) pair is
+// identical to SyntheticScene's. Returns dst.
+func SyntheticSceneInto(dst *ARGBImage, seed uint64) *ARGBImage {
 	rng := sim.NewRNG(seed)
-	img := NewARGB(width, height)
+	img := dst
+	width, height := img.Width, img.Height
+	// Gradient background. The channel values depend only on the column
+	// (r), row (g) and diagonal (b), so the integer divisions are hoisted
+	// into per-axis tables and each pixel is an OR of prepacked parts.
+	rCol := make([]uint32, width)
+	bDiag := make([]uint32, width+height)
+	for i := 0; i < width; i++ {
+		rCol[i] = uint32(uint8(255*i/width)) << 16
+	}
+	for s := 0; s < width+height; s++ {
+		bDiag[s] = uint32(uint8(s * 255 / (width + height)))
+	}
 	for j := 0; j < height; j++ {
-		for i := 0; i < width; i++ {
-			r := uint8(255 * i / width)
-			g := uint8(255 * j / height)
-			b := uint8((i + j) * 255 / (width + height))
-			img.Set(i, j, PackRGB(r, g, b))
+		gRow := 0xFF000000 | uint32(uint8(255*j/height))<<8
+		row := img.Pix[j*width : j*width+width]
+		diag := bDiag[j : j+width]
+		for i := range row {
+			row[i] = gRow | rCol[i] | diag[i]
 		}
 	}
 	// Rectangles simulating objects.
@@ -151,9 +203,11 @@ func SyntheticScene(width, height int, seed uint64) *ARGBImage {
 		w := 1 + rng.Intn(width/4)
 		h := 1 + rng.Intn(height/4)
 		col := PackRGB(uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)))
+		x1 := min(x0+w, width)
 		for j := y0; j < y0+h && j < height; j++ {
-			for i := x0; i < x0+w && i < width; i++ {
-				img.Set(i, j, col)
+			row := img.Pix[j*width+x0 : j*width+x1]
+			for i := range row {
+				row[i] = col
 			}
 		}
 	}
@@ -184,12 +238,18 @@ func SyntheticScene(width, height int, seed uint64) *ARGBImage {
 // SyntheticFrame produces an NV21 sensor frame of the procedural scene,
 // i.e. what the camera HAL would hand the application.
 func SyntheticFrame(width, height int, seed uint64) *YUVImage {
-	return ARGBToYUV(SyntheticScene(width&^1, height&^1, seed))
+	return SyntheticFrameInto(NewYUV(width&^1, height&^1), seed)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// SyntheticFrameInto paints the procedural scene straight into the NV21
+// frame dst (at dst's dimensions), going through a pooled ARGB scratch
+// bitmap so a per-frame synthesis allocates nothing in steady state.
+// Content is identical to SyntheticFrame's for the same dimensions and
+// seed. Returns dst.
+func SyntheticFrameInto(dst *YUVImage, seed uint64) *YUVImage {
+	scene := GetARGB(dst.Width, dst.Height)
+	SyntheticSceneInto(scene, seed)
+	ARGBToYUVInto(dst, scene)
+	PutARGB(scene)
+	return dst
 }

@@ -15,6 +15,7 @@ import (
 	"aitax/internal/driver"
 	"aitax/internal/faults"
 	"aitax/internal/nn"
+	"aitax/internal/plan"
 	"aitax/internal/sim"
 	"aitax/internal/soc"
 	"aitax/internal/telemetry"
@@ -50,6 +51,9 @@ func (p Preference) String() string {
 type Partition struct {
 	Target driver.Target
 	Ops    []*nn.Op
+	// Costs is the precomputed per-op device-time schedule for Ops on
+	// Target (from the shared plan cache); nil recomputes per execution.
+	Costs []time.Duration
 }
 
 // CompiledModel is the result of model compilation: the partition plan
@@ -70,6 +74,12 @@ type CompiledModel struct {
 	DriverInitFailed bool
 
 	probed bool // the one-time DSP attempt of a fallback plan happened
+
+	// plans/planKey identify the shared cache entry this plan's
+	// partition assignment came from, so a fault-driven re-plan can
+	// invalidate exactly that entry. Nil/zero when compiled privately.
+	plans   *plan.Cache
+	planKey plan.Key
 }
 
 // AccelPartitions counts partitions on non-CPU targets.
@@ -134,6 +144,15 @@ type Framework struct {
 	// lets partition execution errors trigger the CPU fallback. Nil
 	// keeps the framework infallible.
 	Faults *faults.Injector
+
+	// Plans, when set, shares partition assignments and cost schedules
+	// with every other standard-built framework in the process (the lab
+	// workers all hit the same entries). Only runtimes that build the
+	// framework from the standard support matrices set this; custom
+	// frameworks compile privately.
+	Plans *plan.Cache
+	// PlanPlatform names the platform in shared cache keys.
+	PlanPlatform string
 }
 
 // Config carries the targets for New.
@@ -197,39 +216,83 @@ func (f *Framework) Compile(g *nn.Graph, dt tensor.DType, pref Preference) *Comp
 		Preference:  pref,
 		CompileTime: time.Duration(g.NumOps()) * f.CompilePerOp,
 	}
-	var cur *Partition
-	for _, op := range g.Ops() {
-		var target driver.Target
-		if f.Supports(op, dt) && accel.Supports(op, dt) {
-			target = accel
-		} else {
-			target = f.FallbackCPU
+	ops := g.Ops()
+	assign := func() any {
+		return plan.PartitionSegments(ops, dt, func(op *nn.Op, dt tensor.DType) bool {
+			return f.Supports(op, dt) && accel.Supports(op, dt)
+		})
+	}
+	var segs []plan.Segment
+	if f.Plans != nil && g.Name != "" {
+		cm.plans = f.Plans
+		cm.planKey = plan.Key{Kind: "nnapi-partition", Model: g.Name, DType: dt,
+			Scope: accel.Name(), Platform: f.PlanPlatform, Variant: g.NumOps()}
+		segs = f.Plans.Get(cm.planKey, assign).([]plan.Segment)
+	} else {
+		segs = assign().([]plan.Segment)
+	}
+	// Materialize per-plan partitions from the shared assignment: the
+	// Partitions slice is this plan's own (execution-time fallbacks
+	// mutate it), only the index ranges and cost schedules are shared.
+	accelCosts := f.opCosts(g, dt, accel)
+	cpuCosts := f.opCosts(g, dt, f.FallbackCPU)
+	for _, s := range segs {
+		t, costs := f.FallbackCPU, cpuCosts
+		if s.Accel {
+			t, costs = accel, accelCosts
 		}
-		if cur == nil || cur.Target != target {
-			cm.Partitions = append(cm.Partitions, Partition{Target: target})
-			cur = &cm.Partitions[len(cm.Partitions)-1]
+		p := Partition{Target: t, Ops: ops[s.Start:s.End]}
+		if costs != nil {
+			p.Costs = costs[s.Start:s.End]
 		}
-		cur.Ops = append(cur.Ops, op)
+		cm.Partitions = append(cm.Partitions, p)
 	}
 	quant := dt == tensor.Int8 || dt == tensor.UInt8
 	if quant && len(cm.Partitions) > f.MaxQuantPartitions {
 		// The vendor driver rejects the shattered plan; NNAPI retreats
 		// to its reference implementation for the whole graph.
 		cm.ReferenceFallback = true
-		cm.Partitions = []Partition{{Target: f.ReferenceCPU, Ops: g.Ops()}}
+		cm.Partitions = []Partition{{Target: f.ReferenceCPU, Ops: ops,
+			Costs: f.opCosts(g, dt, f.ReferenceCPU)}}
 	} else if cm.AccelPartitions() > 0 {
 		// The vendor driver's accelerator bring-up can fail outright
 		// (injected fault); NNAPI re-plans the whole graph onto its CPU
 		// fallback and eats the second planning pass.
 		if err := f.Faults.DelegateInit(accel.Name()); err != nil {
 			cm.DriverInitFailed = true
-			cm.Partitions = []Partition{{Target: f.FallbackCPU, Ops: g.Ops()}}
+			cm.Partitions = []Partition{{Target: f.FallbackCPU, Ops: ops, Costs: cpuCosts}}
+			cm.invalidate()
 			cm.CompileTime += time.Duration(g.NumOps()) * f.CompilePerOp / 2
 			f.Metrics.Inc(telemetry.Labeled("aitax_faults_injected_total", "site", faults.SiteDelegateInit.String()))
 			f.Metrics.Inc(telemetry.Labeled("aitax_faults_fallbacks_total", "layer", "nnapi-compile"))
 		}
 	}
 	return cm
+}
+
+// opCosts returns the per-op device-time schedule for the whole graph
+// on target t, shared through the plan cache when one is wired. Nil
+// when t cannot cost segments ahead of execution.
+func (f *Framework) opCosts(g *nn.Graph, dt tensor.DType, t driver.Target) []time.Duration {
+	c, ok := t.(driver.Coster)
+	if !ok {
+		return nil
+	}
+	if f.Plans == nil || g.Name == "" {
+		return c.OpCosts(g.Ops(), dt)
+	}
+	k := plan.Key{Kind: "op-costs", Model: g.Name, DType: dt, Scope: t.Name(),
+		Platform: f.PlanPlatform, Variant: g.NumOps()}
+	costs, _ := f.Plans.Get(k, func() any { return c.OpCosts(g.Ops(), dt) }).([]time.Duration)
+	return costs
+}
+
+// invalidate drops this plan's shared partition entry (if it came from
+// the cache) after a fault-driven re-plan; other entries stay warm.
+func (cm *CompiledModel) invalidate() {
+	if cm.plans != nil {
+		cm.plans.Invalidate(cm.planKey)
+	}
 }
 
 // Report aggregates one NNAPI execution.
@@ -277,7 +340,7 @@ func (f *Framework) Execute(cm *CompiledModel, done func(Report)) {
 		}
 		p := cm.Partitions[i]
 		exec := func() {
-			p.Target.Execute(p.Ops, cm.DType, func(res driver.Result) {
+			driver.ExecuteCosted(p.Target, p.Ops, p.Costs, cm.DType, nil, func(res driver.Result) {
 				if res.Err != nil && p.Target != f.FallbackCPU && p.Target != f.ReferenceCPU {
 					// The accelerator gave up on this partition. Absorb
 					// the failed attempt's time (it really passed), pay
@@ -294,6 +357,8 @@ func (f *Framework) Execute(cm *CompiledModel, done func(Report)) {
 					f.Metrics.Inc(telemetry.Labeled("aitax_faults_fallbacks_total", "layer", "nnapi"))
 					f.Metrics.Observe("aitax_faults_fallback_ms", float64(penalty)/float64(time.Millisecond))
 					cm.Partitions[i].Target = f.FallbackCPU
+					cm.Partitions[i].Costs = nil // accel schedule no longer applies
+					cm.invalidate()
 					f.eng.After(penalty, func() {
 						f.FallbackCPU.Execute(p.Ops, cm.DType, func(res2 driver.Result) {
 							rep.Result = rep.Result.Add(res2)

@@ -1,0 +1,165 @@
+// Package plan is the compiled-inference-plan cache: partition
+// assignments and op-level cost schedules computed once per (model,
+// dtype, delegate, platform) and shared across every interpreter and
+// framework instance in the process — including the lab's parallel
+// workers, which all run the same configurations against their own
+// simulated stacks.
+//
+// The cache stores only *derived, deterministic* artifacts: pure
+// functions of the model graph, the precision, the support matrices and
+// the platform's device constants. Re-building an entry always yields
+// the same value, so sharing (or invalidating) an entry can never
+// change simulation results — it only removes repeated host-side work.
+// Anything fault-dependent (a re-planned CPU-only layout, a shattered
+// quantized plan's one-time DSP probe) stays per-instance and is never
+// cached; fault-driven re-plans additionally invalidate the affected
+// entry so later compiles start from a clean build.
+package plan
+
+import (
+	"sync"
+	"time"
+
+	"aitax/internal/nn"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+// Key identifies one cached plan artifact.
+type Key struct {
+	// Kind separates artifact namespaces ("tflite-partition",
+	// "nnapi-partition", "op-costs", ...).
+	Kind  string
+	Model string
+	DType tensor.DType
+	// Scope is the delegate or target the artifact belongs to (partition
+	// plans are per delegate, cost schedules per target).
+	Scope string
+	// Platform is the SoC product name; device constants differ per SoC.
+	Platform string
+	// Variant disambiguates graph variants that share a model name —
+	// callers pass the op count, which differs whenever activation
+	// fusion changed the graph.
+	Variant int
+}
+
+type entry struct {
+	once sync.Once
+	val  any
+}
+
+// Cache is a concurrent build-once store. The zero value is not usable;
+// construct with New. Get is safe to call from any number of goroutines:
+// the first caller for a key runs the build function, everyone else
+// blocks until the value is ready (sync.Once), and distinct keys build
+// concurrently.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	hits, misses, invalidations int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[Key]*entry)}
+}
+
+// Shared is the process-wide cache every standard-built runtime uses.
+// Frameworks constructed with custom support matrices or targets must
+// not use it (their plans are not a function of the key alone).
+var Shared = New()
+
+// Get returns the cached value for k, building it with build exactly
+// once per entry lifetime. A nil cache always builds.
+func (c *Cache) Get(k Key, build func() any) any {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		e = &entry{}
+		c.entries[k] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
+}
+
+// Invalidate drops the entry for k (if present), so the next Get
+// rebuilds it. Used by fault-driven re-plans: only the affected entry
+// goes, everything else stays warm.
+func (c *Cache) Invalidate(k Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[k]; ok {
+		delete(c.entries, k)
+		c.invalidations++
+	}
+	c.mu.Unlock()
+}
+
+// Len reports the live entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports cumulative hit/miss/invalidation counts.
+func (c *Cache) Stats() (hits, misses, invalidations int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations
+}
+
+// Segment is one contiguous op range [Start, End) in graph order,
+// assigned either to the accelerator or to the CPU side of a plan.
+// Index-based ranges (rather than op pointers) make the assignment
+// shareable across stacks: every stack rebuilds the same graphs in the
+// same order, but with fresh Op structs.
+type Segment struct {
+	Accel      bool
+	Start, End int
+}
+
+// PartitionSegments greedily splits ops into maximal accelerator-
+// supported runs — the assignment step both TFLite's delegate mechanism
+// and NNAPI's partitioner perform.
+func PartitionSegments(ops []*nn.Op, dt tensor.DType, supports func(*nn.Op, tensor.DType) bool) []Segment {
+	var segs []Segment
+	for i, op := range ops {
+		accel := supports(op, dt)
+		if n := len(segs); n > 0 && segs[n-1].Accel == accel {
+			segs[n-1].End = i + 1
+			continue
+		}
+		segs = append(segs, Segment{Accel: accel, Start: i, End: i + 1})
+	}
+	return segs
+}
+
+// OpCosts computes the per-op device time schedule for ops at precision
+// dt on dev — the values a driver's execute loop would otherwise
+// recompute every frame. Target-level factors (thread splits, delegate
+// efficiency, per-op dispatch overhead) are applied at execution time,
+// so one schedule per device serves every target on that device.
+func OpCosts(ops []*nn.Op, dt tensor.DType, dev *soc.Device) []time.Duration {
+	costs := make([]time.Duration, len(ops))
+	for i, op := range ops {
+		costs[i] = dev.TimeFor(op.Work(dt), dt)
+	}
+	return costs
+}

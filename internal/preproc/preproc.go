@@ -20,10 +20,17 @@ import (
 // pixel count (quadratically in the output edge length, as the paper
 // notes).
 func ResizeBilinear(src *imaging.ARGBImage, dstW, dstH int) *imaging.ARGBImage {
+	return ResizeBilinearInto(imaging.NewARGB(dstW, dstH), src, dstW, dstH)
+}
+
+// ResizeBilinearInto is the in-place variant of ResizeBilinear: it scales
+// into dst (resized to dstW×dstH) and allocates nothing when dst's
+// backing array is already large enough. Returns dst.
+func ResizeBilinearInto(dst *imaging.ARGBImage, src *imaging.ARGBImage, dstW, dstH int) *imaging.ARGBImage {
 	if dstW <= 0 || dstH <= 0 {
 		panic(fmt.Sprintf("preproc: invalid resize target %dx%d", dstW, dstH))
 	}
-	dst := imaging.NewARGB(dstW, dstH)
+	dst.Resize(dstW, dstH)
 	xRatio := float64(src.Width-1) / float64(max(dstW-1, 1))
 	yRatio := float64(src.Height-1) / float64(max(dstH-1, 1))
 	for j := 0; j < dstH; j++ {
@@ -31,27 +38,30 @@ func ResizeBilinear(src *imaging.ARGBImage, dstW, dstH int) *imaging.ARGBImage {
 		y0 := int(sy)
 		y1 := min(y0+1, src.Height-1)
 		fy := sy - float64(y0)
+		row0 := src.Pix[y0*src.Width : y0*src.Width+src.Width]
+		row1 := src.Pix[y1*src.Width : y1*src.Width+src.Width]
+		out := dst.Pix[j*dstW : j*dstW+dstW]
 		for i := 0; i < dstW; i++ {
 			sx := xRatio * float64(i)
 			x0 := int(sx)
 			x1 := min(x0+1, src.Width-1)
 			fx := sx - float64(x0)
 
-			r00, g00, b00 := imaging.RGB(src.At(x0, y0))
-			r10, g10, b10 := imaging.RGB(src.At(x1, y0))
-			r01, g01, b01 := imaging.RGB(src.At(x0, y1))
-			r11, g11, b11 := imaging.RGB(src.At(x1, y1))
+			r00, g00, b00 := imaging.RGB(row0[x0])
+			r10, g10, b10 := imaging.RGB(row0[x1])
+			r01, g01, b01 := imaging.RGB(row1[x0])
+			r11, g11, b11 := imaging.RGB(row1[x1])
 
 			lerp := func(a, b, c, d uint8) uint8 {
 				top := float64(a)*(1-fx) + float64(b)*fx
 				bot := float64(c)*(1-fx) + float64(d)*fx
 				return uint8(top*(1-fy) + bot*fy + 0.5)
 			}
-			dst.Set(i, j, imaging.PackRGB(
+			out[i] = imaging.PackRGB(
 				lerp(r00, r10, r01, r11),
 				lerp(g00, g10, g01, g11),
 				lerp(b00, b10, b01, b11),
-			))
+			)
 		}
 	}
 	return dst
@@ -71,6 +81,11 @@ func ResizeWork(w, h int) work.Work {
 // along a dimension, the whole extent is used. Inception-style models
 // center-crop before scaling (§II-B).
 func CenterCrop(src *imaging.ARGBImage, w, h int) *imaging.ARGBImage {
+	return CenterCropInto(imaging.NewARGB(min(w, src.Width), min(h, src.Height)), src, w, h)
+}
+
+// CenterCropInto is the in-place variant of CenterCrop. Returns dst.
+func CenterCropInto(dst *imaging.ARGBImage, src *imaging.ARGBImage, w, h int) *imaging.ARGBImage {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("preproc: invalid crop %dx%d", w, h))
 	}
@@ -78,11 +93,10 @@ func CenterCrop(src *imaging.ARGBImage, w, h int) *imaging.ARGBImage {
 	h = min(h, src.Height)
 	x0 := (src.Width - w) / 2
 	y0 := (src.Height - h) / 2
-	dst := imaging.NewARGB(w, h)
+	dst.Resize(w, h)
 	for j := 0; j < h; j++ {
-		for i := 0; i < w; i++ {
-			dst.Set(i, j, src.At(x0+i, y0+j))
-		}
+		srcOff := (y0+j)*src.Width + x0
+		copy(dst.Pix[j*w:j*w+w], src.Pix[srcOff:srcOff+w])
 	}
 	return dst
 }
@@ -108,32 +122,45 @@ func CropFraction(src *imaging.ARGBImage, fraction float64) *imaging.ARGBImage {
 // with the pixel count (quadratically in edge length, §II-B).
 func Rotate90(src *imaging.ARGBImage, quarterTurns int) *imaging.ARGBImage {
 	quarterTurns = ((quarterTurns % 4) + 4) % 4
-	if quarterTurns == 0 {
-		out := imaging.NewARGB(src.Width, src.Height)
-		copy(out.Pix, src.Pix)
-		return out
+	w, h := src.Width, src.Height
+	if quarterTurns%2 == 1 {
+		w, h = h, w
 	}
-	var dst *imaging.ARGBImage
+	return Rotate90Into(imaging.NewARGB(w, h), src, quarterTurns)
+}
+
+// Rotate90Into is the in-place variant of Rotate90 (dst must not alias
+// src). Returns dst.
+func Rotate90Into(dst *imaging.ARGBImage, src *imaging.ARGBImage, quarterTurns int) *imaging.ARGBImage {
+	quarterTurns = ((quarterTurns % 4) + 4) % 4
 	switch quarterTurns {
+	case 0:
+		dst.Resize(src.Width, src.Height)
+		copy(dst.Pix, src.Pix)
 	case 1: // 90° cw: (x,y) -> (H-1-y, x)
-		dst = imaging.NewARGB(src.Height, src.Width)
+		dst.Resize(src.Height, src.Width)
 		for j := 0; j < src.Height; j++ {
-			for i := 0; i < src.Width; i++ {
-				dst.Set(src.Height-1-j, i, src.At(i, j))
+			row := src.Pix[j*src.Width : j*src.Width+src.Width]
+			x := src.Height - 1 - j
+			for i, p := range row {
+				dst.Pix[i*dst.Width+x] = p
 			}
 		}
 	case 2:
-		dst = imaging.NewARGB(src.Width, src.Height)
+		dst.Resize(src.Width, src.Height)
 		for j := 0; j < src.Height; j++ {
-			for i := 0; i < src.Width; i++ {
-				dst.Set(src.Width-1-i, src.Height-1-j, src.At(i, j))
+			row := src.Pix[j*src.Width : j*src.Width+src.Width]
+			out := dst.Pix[(src.Height-1-j)*dst.Width : (src.Height-j)*dst.Width]
+			for i, p := range row {
+				out[src.Width-1-i] = p
 			}
 		}
 	case 3: // 270° cw: (x,y) -> (y, W-1-x)
-		dst = imaging.NewARGB(src.Height, src.Width)
+		dst.Resize(src.Height, src.Width)
 		for j := 0; j < src.Height; j++ {
-			for i := 0; i < src.Width; i++ {
-				dst.Set(j, src.Width-1-i, src.At(i, j))
+			row := src.Pix[j*src.Width : j*src.Width+src.Width]
+			for i, p := range row {
+				dst.Pix[(src.Width-1-i)*dst.Width+j] = p
 			}
 		}
 	}
@@ -151,14 +178,22 @@ func RotateWork(w, h int) work.Work {
 // Nearly all networks require normalized inputs (§II-B); runtime is linear
 // in the pixel count.
 func Normalize(src *imaging.ARGBImage, mean, std float64) *tensor.Tensor {
+	return NormalizeInto(nil, src, mean, std)
+}
+
+// NormalizeInto is the scratch-reusing variant of Normalize: dst (which
+// may be nil) is recycled through tensor.Ensure, so a steady-state
+// caller allocates nothing. Returns the tensor.
+func NormalizeInto(dst *tensor.Tensor, src *imaging.ARGBImage, mean, std float64) *tensor.Tensor {
 	if std == 0 {
 		panic("preproc: zero normalization std")
 	}
-	t := tensor.New(tensor.Float32, tensor.Shape{1, src.Height, src.Width, 3})
+	t := tensor.Ensure(dst, tensor.Float32, tensor.Shape{1, src.Height, src.Width, 3})
 	idx := 0
 	for j := 0; j < src.Height; j++ {
-		for i := 0; i < src.Width; i++ {
-			r, g, b := imaging.RGB(src.At(i, j))
+		row := src.Pix[j*src.Width : j*src.Width+src.Width]
+		for _, p := range row {
+			r, g, b := imaging.RGB(p)
 			t.F32[idx] = float32((float64(r) - mean) / std)
 			t.F32[idx+1] = float32((float64(g) - mean) / std)
 			t.F32[idx+2] = float32((float64(b) - mean) / std)
@@ -178,11 +213,20 @@ func NormalizeWork(w, h int) work.Work {
 // tensor, the type-conversion step quantized models require (§II-B).
 // Camera bytes map to the quantized domain through params q.
 func QuantizeInput(src *imaging.ARGBImage, dt tensor.DType, q tensor.QuantParams) *tensor.Tensor {
-	t := tensor.NewQuant(dt, tensor.Shape{1, src.Height, src.Width, 3}, q)
+	return QuantizeInputInto(nil, src, dt, q)
+}
+
+// QuantizeInputInto is the scratch-reusing variant of QuantizeInput: dst
+// (which may be nil) is recycled through tensor.Ensure. Returns the
+// tensor.
+func QuantizeInputInto(dst *tensor.Tensor, src *imaging.ARGBImage, dt tensor.DType, q tensor.QuantParams) *tensor.Tensor {
+	t := tensor.Ensure(dst, dt, tensor.Shape{1, src.Height, src.Width, 3})
+	t.Quant = q
 	idx := 0
 	for j := 0; j < src.Height; j++ {
-		for i := 0; i < src.Width; i++ {
-			r, g, b := imaging.RGB(src.At(i, j))
+		row := src.Pix[j*src.Width : j*src.Width+src.Width]
+		for _, p := range row {
+			r, g, b := imaging.RGB(p)
 			t.Set(idx, float64(r))
 			t.Set(idx+1, float64(g))
 			t.Set(idx+2, float64(b))
@@ -281,18 +325,4 @@ func BasicVocab() map[string]int {
 		next += 2
 	}
 	return v
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

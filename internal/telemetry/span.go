@@ -122,6 +122,24 @@ type Tracer struct {
 	clock func() sim.Time
 	spans []Span
 	flows []Flow
+	// handles is a chunked slab of span handles: record hands out
+	// pointers into fixed-capacity chunks, so opening a span costs one
+	// allocation per chunk instead of one per span, and already-issued
+	// pointers never move.
+	handles [][]ActiveSpan
+}
+
+// handleChunk is the slab chunk size; one allocation covers this many
+// span handles.
+const handleChunk = 256
+
+func (t *Tracer) newHandle(idx int) *ActiveSpan {
+	if n := len(t.handles); n == 0 || len(t.handles[n-1]) == cap(t.handles[n-1]) {
+		t.handles = append(t.handles, make([]ActiveSpan, 0, handleChunk))
+	}
+	c := &t.handles[len(t.handles)-1]
+	*c = append(*c, ActiveSpan{t: t, idx: idx})
+	return &(*c)[len(*c)-1]
 }
 
 // NewTracer creates a tracer reading virtual time from clock (typically
@@ -184,7 +202,7 @@ func (t *Tracer) record(name, component string, track Track, parent *ActiveSpan,
 		Start:     start,
 		End:       end,
 	})
-	return &ActiveSpan{t: t, idx: len(t.spans) - 1}
+	return t.newHandle(len(t.spans) - 1)
 }
 
 // End closes the span at the current virtual time. No-op on nil.
@@ -206,6 +224,11 @@ func (a *ActiveSpan) SetAttr(key, value string) {
 			sp.Attrs[i].Value = value
 			return
 		}
+	}
+	if sp.Attrs == nil {
+		// Most spans carry at most a few attributes; starting at
+		// capacity 4 makes the common case a single allocation.
+		sp.Attrs = make([]Attr, 0, 4)
 	}
 	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
 }

@@ -6,54 +6,83 @@ import (
 	"aitax/internal/tensor"
 )
 
+// OutputScratch holds the reusable tensors behind fabricated model
+// outputs, so a per-frame caller (the app's real post-processing path)
+// stops allocating after the first frame. The zero value is ready to
+// use. Tensors returned from FabricateOutputsInto alias the scratch and
+// are valid until the next call with the same scratch.
+type OutputScratch struct {
+	f32   []*tensor.Tensor // fp32 generator outputs
+	quant []*tensor.Tensor // quantized views (quantized dtypes only)
+	outs  []*tensor.Tensor // returned slice
+}
+
 // FabricateOutputs synthesizes plausible raw output tensors for the
 // interpreter's model so that the real post-processing implementations
 // (topK, NMS, keypoint decode, mask flattening) have non-trivial inputs.
 // The simulator costs inference in virtual time; tensors' numerical
-// contents come from this seeded generator.
+// contents come from this seeded generator. The returned tensors are
+// scratch owned by the interpreter: valid until the next call.
 func (ip *Interpreter) FabricateOutputs() []*tensor.Tensor {
-	return FabricateOutputs(ip.Model, ip.DType, ip.rt.RNG)
+	if ip.outScratch == nil {
+		ip.outScratch = &OutputScratch{}
+	}
+	return FabricateOutputsInto(ip.outScratch, ip.Model, ip.DType, ip.rt.RNG)
 }
 
 // FabricateOutputs is the model-level generator behind
 // Interpreter.FabricateOutputs.
 func FabricateOutputs(m *models.Model, dt tensor.DType, rng *sim.RNG) []*tensor.Tensor {
+	return FabricateOutputsInto(&OutputScratch{}, m, dt, rng)
+}
+
+// FabricateOutputsInto is the scratch-reusing generator: values (and the
+// random stream consumed) are identical to FabricateOutputs, but all
+// buffers are recycled from s.
+func FabricateOutputsInto(s *OutputScratch, m *models.Model, dt tensor.DType, rng *sim.RNG) []*tensor.Tensor {
 	quant := dt == tensor.Int8 || dt == tensor.UInt8
-	outs := make([]*tensor.Tensor, 0, len(m.OutputShapes))
+	for len(s.f32) < len(m.OutputShapes) {
+		s.f32 = append(s.f32, nil)
+		s.quant = append(s.quant, nil)
+	}
+	s.outs = s.outs[:0]
 	for oi, shape := range m.OutputShapes {
 		var t *tensor.Tensor
 		switch m.Task {
 		case models.Classification, models.FaceRecognition, models.LanguageProcessing:
-			t = classScores(shape, rng)
+			t = classScores(s.f32[oi], shape, rng)
 		case models.Segmentation:
-			t = segScores(shape, rng)
+			t = segScores(s.f32[oi], shape, rng)
 		case models.ObjectDetection:
 			if oi == 0 {
-				t = boxRegressions(shape, rng)
+				t = boxRegressions(s.f32[oi], shape, rng)
 			} else {
-				t = detScores(shape, rng)
+				t = detScores(s.f32[oi], shape, rng)
 			}
 		case models.PoseEstimation:
 			if oi == 0 {
-				t = heatmaps(shape, rng)
+				t = heatmaps(s.f32[oi], shape, rng)
 			} else {
-				t = offsets(shape, rng)
+				t = offsets(s.f32[oi], shape, rng)
 			}
 		default:
-			t = tensor.New(tensor.Float32, shape)
+			t = tensor.Ensure(s.f32[oi], tensor.Float32, shape)
+			clear(t.F32)
 		}
+		s.f32[oi] = t
 		if quant {
-			t = tensor.QuantizeTensor(t, dt)
+			s.quant[oi] = tensor.QuantizeTensorInto(s.quant[oi], t, dt)
+			t = s.quant[oi]
 		}
-		outs = append(outs, t)
+		s.outs = append(s.outs, t)
 	}
-	return outs
+	return s.outs
 }
 
 // classScores builds a probability-like vector with a handful of strong
 // peaks over low background noise.
-func classScores(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
-	t := tensor.New(tensor.Float32, shape)
+func classScores(dst *tensor.Tensor, shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
+	t := tensor.Ensure(dst, tensor.Float32, shape)
 	n := t.Elems()
 	for i := 0; i < n; i++ {
 		t.F32[i] = float32(rng.Float64() * 0.01)
@@ -66,8 +95,8 @@ func classScores(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
 
 // segScores builds per-pixel class scores with spatially coherent
 // regions (vertical bands) so argmax masks are structured.
-func segScores(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
-	t := tensor.New(tensor.Float32, shape)
+func segScores(dst *tensor.Tensor, shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
+	t := tensor.Ensure(dst, tensor.Float32, shape)
 	h, w, c := shape[1], shape[2], shape[3]
 	bands := 2 + rng.Intn(3)
 	for y := 0; y < h; y++ {
@@ -86,16 +115,16 @@ func segScores(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
 	return t
 }
 
-func boxRegressions(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
-	t := tensor.New(tensor.Float32, shape)
+func boxRegressions(dst *tensor.Tensor, shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
+	t := tensor.Ensure(dst, tensor.Float32, shape)
 	for i := range t.F32 {
 		t.F32[i] = float32(rng.Norm(0, 0.6))
 	}
 	return t
 }
 
-func detScores(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
-	t := tensor.New(tensor.Float32, shape)
+func detScores(dst *tensor.Tensor, shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
+	t := tensor.Ensure(dst, tensor.Float32, shape)
 	n, c := shape[1], shape[2]
 	for i := range t.F32 {
 		t.F32[i] = float32(rng.Float64() * 0.1)
@@ -109,8 +138,8 @@ func detScores(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
 	return t
 }
 
-func heatmaps(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
-	t := tensor.New(tensor.Float32, shape)
+func heatmaps(dst *tensor.Tensor, shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
+	t := tensor.Ensure(dst, tensor.Float32, shape)
 	h, w, k := shape[1], shape[2], shape[3]
 	for i := range t.F32 {
 		t.F32[i] = float32(rng.Norm(-3, 1)) // low logits everywhere
@@ -122,8 +151,8 @@ func heatmaps(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
 	return t
 }
 
-func offsets(shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
-	t := tensor.New(tensor.Float32, shape)
+func offsets(dst *tensor.Tensor, shape tensor.Shape, rng *sim.RNG) *tensor.Tensor {
+	t := tensor.Ensure(dst, tensor.Float32, shape)
 	for i := range t.F32 {
 		t.F32[i] = float32(rng.Norm(0, 4))
 	}

@@ -1,0 +1,133 @@
+package tflite
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"aitax/internal/faults"
+	"aitax/internal/lab"
+	"aitax/internal/models"
+	"aitax/internal/plan"
+	"aitax/internal/soc"
+	"aitax/internal/tensor"
+)
+
+// cacheRaceCfg is one stack configuration the plan-cache race test runs
+// repeatedly from concurrent lab workers.
+type cacheRaceCfg struct {
+	model string
+	dt    tensor.DType
+	del   Delegate
+	// fault forces delegate init to fail, driving the CPU fallback path
+	// that invalidates the shared plan entry mid-run.
+	fault bool
+}
+
+func (c cacheRaceCfg) id() string {
+	return fmt.Sprintf("%s/%v/%v/fault=%v", c.model, c.dt, c.del, c.fault)
+}
+
+// runWithPlanCache builds a fresh stack wired to cache (nil disables
+// caching), runs two invokes (one warm-up) and returns the second
+// invocation's total latency.
+func runWithPlanCache(cache *plan.Cache, c cacheRaceCfg) (time.Duration, error) {
+	rt := NewStack(soc.Pixel3(), 42)
+	rt.Plans = cache
+	if c.fault {
+		inj, err := faults.New(faults.Plan{DelegateInitFailRate: 1, Seed: 99})
+		if err != nil {
+			return 0, err
+		}
+		rt.Faults = inj
+	}
+	m, err := models.ByName(c.model)
+	if err != nil {
+		return 0, err
+	}
+	ip, err := rt.NewInterpreter(m, c.dt, Options{Delegate: c.del})
+	if err != nil {
+		return 0, err
+	}
+	var rep Report
+	ip.Init(func() {
+		ip.Invoke(func(Report) {
+			ip.Invoke(func(r Report) { rep = r })
+		})
+	})
+	rt.Eng.Run()
+	if rep.Total() <= 0 {
+		return 0, fmt.Errorf("%s: no latency measured", c.id())
+	}
+	if c.fault && c.del == DelegateGPU && !ip.FellBack() {
+		return 0, fmt.Errorf("%s: forced init fault did not fall back", c.id())
+	}
+	return rep.Total(), nil
+}
+
+// TestPlanCacheSharedAcrossLabWorkers is the plan cache's concurrency
+// proof, meant to run under -race: many lab workers simultaneously
+// build interpreters for overlapping (model, dtype, delegate) combos
+// against ONE shared cache, while fault-injected workers keep forcing
+// CPU fallbacks that invalidate the very entries the others are
+// reading. Every job's simulated latency must equal the uncached
+// sequential reference — sharing compiled plans may only remove host
+// work, never change virtual-time results.
+func TestPlanCacheSharedAcrossLabWorkers(t *testing.T) {
+	configs := []cacheRaceCfg{
+		{"MobileNet 1.0 v1", tensor.Float32, DelegateCPU, false},
+		{"MobileNet 1.0 v1", tensor.Float32, DelegateGPU, false},
+		{"MobileNet 1.0 v1", tensor.Float32, DelegateGPU, true},
+		{"MobileNet 1.0 v1", tensor.UInt8, DelegateHexagon, false},
+		{"MobileNet 1.0 v1", tensor.UInt8, DelegateNNAPI, false},
+		{"MobileNet 1.0 v1", tensor.UInt8, DelegateNNAPI, true},
+		{"Inception v3", tensor.Float32, DelegateGPU, false},
+	}
+
+	// Uncached sequential reference: what each config reports when every
+	// stack recomputes its own plans.
+	want := make(map[string]time.Duration, len(configs))
+	for _, c := range configs {
+		total, err := runWithPlanCache(nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c.id()] = total
+	}
+
+	cache := plan.New()
+	const repeats = 4
+	var jobs []lab.Job
+	for r := 0; r < repeats; r++ {
+		for _, c := range configs {
+			c := c
+			jobs = append(jobs, lab.Job{
+				ID: fmt.Sprintf("%s#%d", c.id(), r),
+				Run: func(context.Context) (any, error) {
+					total, err := runWithPlanCache(cache, c)
+					return total, err
+				},
+			})
+		}
+	}
+
+	l := &lab.Lab{Parallelism: 8}
+	for _, res := range l.Run(context.Background(), jobs) {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.ID, res.Err)
+		}
+		c := configs[res.Index%len(configs)]
+		if got := res.Value.(time.Duration); got != want[c.id()] {
+			t.Errorf("%s: cached run reported %v, uncached reference %v", res.ID, got, want[c.id()])
+		}
+	}
+
+	hits, misses, invalidations := cache.Stats()
+	if misses == 0 || hits == 0 {
+		t.Fatalf("cache never shared work: %d hits, %d misses", hits, misses)
+	}
+	if invalidations == 0 {
+		t.Fatal("fault-injected workers never invalidated a shared entry")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"aitax/internal/models"
 	"aitax/internal/nn"
 	"aitax/internal/nnapi"
+	"aitax/internal/plan"
 	"aitax/internal/sched"
 	"aitax/internal/sim"
 	"aitax/internal/snpe"
@@ -77,6 +78,13 @@ type Runtime struct {
 	// and framework built from this runtime. Nil keeps the stack
 	// infallible and byte-identical to a build without fault injection.
 	Faults *faults.Injector
+	// Plans shares compiled inference plans — partition assignments and
+	// op-level cost schedules — across every interpreter and framework
+	// this runtime (and, through plan.Shared, every other runtime in the
+	// process) builds. Cached artifacts are pure functions of (model,
+	// dtype, delegate, platform), so sharing never changes results. Nil
+	// disables caching; NewRuntime defaults it to plan.Shared.
+	Plans *plan.Cache
 }
 
 // NewRuntime creates a runtime on a fresh platform.
@@ -88,6 +96,7 @@ func NewRuntime(eng *sim.Engine, sch *sched.Scheduler, platform *soc.SoC, seed u
 		DSP:      sim.NewResource(eng, "dsp", 1),
 		GPUQueue: sim.NewResource(eng, "gpu", 1),
 		RNG:      sim.NewRNG(seed),
+		Plans:    plan.Shared,
 	}
 }
 
@@ -128,6 +137,12 @@ func (rt *Runtime) NewNNAPI() *nnapi.Framework {
 	fw.Tracer = rt.Tracer
 	fw.Metrics = rt.Metrics
 	fw.Faults = rt.Faults
+	// Standard-built frameworks use the standard support matrices, so
+	// their compiled plans are shareable across instances (and lab
+	// workers). Custom frameworks (tests with bespoke targets or support
+	// matrices) leave Plans nil and compile privately.
+	fw.Plans = rt.Plans
+	fw.PlanPlatform = p.Name
 	return fw
 }
 
@@ -188,6 +203,10 @@ type Report struct {
 type segment struct {
 	target driver.Target
 	ops    []*nn.Op
+	// costs is the precomputed per-op device-time schedule for ops on
+	// target (shared through the runtime's plan cache); nil recomputes
+	// per invocation.
+	costs []time.Duration
 }
 
 // Interpreter executes one model with one delegate configuration.
@@ -197,12 +216,14 @@ type Interpreter struct {
 	DType tensor.DType
 	opts  Options
 
-	cpu      *driver.CPUTarget
-	segments []segment
-	nnapiFW  *nnapi.Framework
-	compiled *nnapi.CompiledModel
-	input    *tensor.Tensor
-	graph    *nn.Graph // possibly fused view of Model.Graph
+	cpu        *driver.CPUTarget
+	segments   []segment
+	nnapiFW    *nnapi.Framework
+	compiled   *nnapi.CompiledModel
+	input      *tensor.Tensor
+	graph      *nn.Graph // possibly fused view of Model.Graph
+	outScratch *OutputScratch
+	planKey    plan.Key // partition-plan cache key (zero when uncached)
 
 	initialized bool
 	fellBack    bool
@@ -256,17 +277,18 @@ func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options
 	ip.graph = graph
 	switch opts.Delegate {
 	case DelegateCPU:
-		ip.segments = []segment{{target: ip.cpu, ops: graph.Ops()}}
+		ip.segments = []segment{{target: ip.cpu, ops: graph.Ops(),
+			costs: rt.opCosts(m.Name, graph, dt, ip.cpu)}}
 	case DelegateGPU:
 		gpu := driver.NewGPUTarget("gpu-delegate", rt.Eng, &rt.Platform.GPU, rt.GPUQueue, driver.GPUDelegateSupports)
 		if opts.GPUAllowFP16 {
 			gpu.AllowFP16()
 		}
 		gpu.Tracer = rt.Tracer
-		ip.segments = partition(graph, dt, rt.instrument(gpu, opts.ProbeOverhead), ip.cpu)
+		ip.buildSegments(rt.instrument(gpu, opts.ProbeOverhead))
 	case DelegateHexagon:
 		dsp := driver.NewDSPTarget("hexagon-delegate", &rt.Platform.DSP, rt.newChannel(), 0.8, driver.HexagonDelegateSupports)
-		ip.segments = partition(graph, dt, rt.instrument(dsp, opts.ProbeOverhead), ip.cpu)
+		ip.buildSegments(rt.instrument(dsp, opts.ProbeOverhead))
 	case DelegateNNAPI:
 		fw := opts.NNAPI
 		if fw == nil {
@@ -279,6 +301,48 @@ func (rt *Runtime) NewInterpreter(m *models.Model, dt tensor.DType, opts Options
 	return ip, nil
 }
 
+// opCosts returns the shared per-op cost schedule for running graph g
+// at dt on target t, computing it once per (model, dtype, target,
+// platform, graph variant) through the runtime's plan cache. Returns
+// nil when the target cannot cost segments ahead of execution.
+func (rt *Runtime) opCosts(model string, g *nn.Graph, dt tensor.DType, t driver.Target) []time.Duration {
+	c, ok := t.(driver.Coster)
+	if !ok {
+		return nil
+	}
+	k := plan.Key{Kind: "op-costs", Model: model, DType: dt, Scope: t.Name(),
+		Platform: rt.Platform.Name, Variant: g.NumOps()}
+	costs, _ := rt.Plans.Get(k, func() any { return c.OpCosts(g.Ops(), dt) }).([]time.Duration)
+	return costs
+}
+
+// buildSegments materializes the interpreter's delegate partitioning
+// from the cached assignment: the greedy support-matrix split and both
+// sides' cost schedules are computed once per (model, dtype, delegate,
+// platform) and shared; only the op-slice views are per-interpreter.
+func (ip *Interpreter) buildSegments(accel driver.Target) {
+	rt, m, graph, dt := ip.rt, ip.Model, ip.graph, ip.DType
+	ip.planKey = plan.Key{Kind: "tflite-partition", Model: m.Name, DType: dt,
+		Scope: ip.opts.Delegate.String(), Platform: rt.Platform.Name, Variant: graph.NumOps()}
+	segs := rt.Plans.Get(ip.planKey, func() any {
+		return plan.PartitionSegments(graph.Ops(), dt, accel.Supports)
+	}).([]plan.Segment)
+	ops := graph.Ops()
+	accelCosts := rt.opCosts(m.Name, graph, dt, accel)
+	cpuCosts := rt.opCosts(m.Name, graph, dt, ip.cpu)
+	for _, s := range segs {
+		t, costs := driver.Target(ip.cpu), cpuCosts
+		if s.Accel {
+			t, costs = accel, accelCosts
+		}
+		seg := segment{target: t, ops: ops[s.Start:s.End]}
+		if costs != nil {
+			seg.costs = costs[s.Start:s.End]
+		}
+		ip.segments = append(ip.segments, seg)
+	}
+}
+
 // instrument wraps an accelerator target with the driver probe at the
 // given fractional overhead (zero passes through), wiring the wrapper to
 // the runtime's telemetry.
@@ -289,25 +353,6 @@ func (rt *Runtime) instrument(t driver.Target, overhead float64) driver.Target {
 		it.Metrics = rt.Metrics
 	}
 	return w
-}
-
-// partition greedily splits the graph into maximal delegate-supported
-// runs, with the CPU covering the rest — TFLite's delegate mechanism.
-func partition(g *nn.Graph, dt tensor.DType, accel, cpu driver.Target) []segment {
-	var segs []segment
-	var cur *segment
-	for _, op := range g.Ops() {
-		t := driver.Target(cpu)
-		if accel.Supports(op, dt) {
-			t = accel
-		}
-		if cur == nil || cur.target != t {
-			segs = append(segs, segment{target: t})
-			cur = &segs[len(segs)-1]
-		}
-		cur.ops = append(cur.ops, op)
-	}
-	return segs
 }
 
 // Segments returns the number of execution partitions (1 when fully on
@@ -413,8 +458,15 @@ func (ip *Interpreter) FellBack() bool { return ip.fellBack }
 // time. The re-planning is permanent: subsequent invocations stay on
 // the CPU, reproducing production TFLite's delegate teardown.
 func (ip *Interpreter) fallBackToCPU(parent *telemetry.ActiveSpan) time.Duration {
-	ip.segments = []segment{{target: ip.cpu, ops: ip.graph.Ops()}}
+	ip.segments = []segment{{target: ip.cpu, ops: ip.graph.Ops(),
+		costs: ip.rt.opCosts(ip.Model.Name, ip.graph, ip.DType, ip.cpu)}}
 	ip.fellBack = true
+	// The delegate plan died; drop the shared entry so the next compile
+	// of this configuration starts from a clean build. Other entries
+	// stay warm.
+	if ip.planKey != (plan.Key{}) {
+		ip.rt.Plans.Invalidate(ip.planKey)
+	}
 	// Teardown of the delegate's compiled graph plus a fresh CPU
 	// interpreter build for the ops it owned.
 	cost := time.Duration(ip.graph.NumOps()) * 85 * time.Microsecond
@@ -465,7 +517,7 @@ func (ip *Interpreter) InvokeTraced(parent *telemetry.ActiveSpan, done func(Repo
 		}
 		s := ip.segments[i]
 		exec := func() {
-			driver.ExecuteSpan(s.target, s.ops, ip.DType, fw, func(res driver.Result) {
+			driver.ExecuteCosted(s.target, s.ops, s.costs, ip.DType, fw, func(res driver.Result) {
 				if res.Err != nil && s.target != driver.Target(ip.cpu) {
 					// The delegate died mid-run (retries exhausted or the
 					// accelerator is down). Absorb the failed attempt's

@@ -69,11 +69,27 @@ func (t *InstrumentedTarget) Execute(ops []*nn.Op, dt tensor.DType, done func(dr
 	t.ExecuteSpan(ops, dt, nil, done)
 }
 
+// OpCosts implements driver.Coster when the inner target does: the
+// probe charge is proportional to measured compute, so the schedule is
+// the inner target's unchanged.
+func (t *InstrumentedTarget) OpCosts(ops []*nn.Op, dt tensor.DType) []time.Duration {
+	if c, ok := t.Inner.(driver.Coster); ok {
+		return c.OpCosts(ops, dt)
+	}
+	return nil
+}
+
 // ExecuteSpan implements driver.SpanExecutor: the parent span flows
 // through to the inner target, and the probe charge itself becomes a
 // "probe" span under it.
 func (t *InstrumentedTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry.ActiveSpan, done func(driver.Result)) {
-	driver.ExecuteSpan(t.Inner, ops, dt, parent, func(res driver.Result) {
+	t.ExecuteCosted(ops, nil, dt, parent, done)
+}
+
+// ExecuteCosted implements driver.CostedExecutor, forwarding the
+// schedule to the inner target.
+func (t *InstrumentedTarget) ExecuteCosted(ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(driver.Result)) {
+	driver.ExecuteCosted(t.Inner, ops, costs, dt, parent, func(res driver.Result) {
 		extra := time.Duration(float64(res.Compute) * t.Overhead)
 		start := t.Eng.Now()
 		t.Eng.After(extra, func() {

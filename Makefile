@@ -31,12 +31,17 @@ bench:
 	$(GO) run ./cmd/aitax-bench -parse bench_output.txt -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
 
-# Quick allocation/regression smoke: one iteration per benchmark, still
-# parsed into a JSON report (CI's bench-smoke job runs this).
+# Quick allocation/regression smoke: one iteration per benchmark, parsed
+# into BENCH_smoke.json (a scratch file — the committed dated baselines
+# are never overwritten) and gated against the committed baseline in
+# allocs-only mode: 1-iteration wall times and warm-up alloc counts are
+# noise, but an allocation creeping onto a zero-alloc hot path fails the
+# build exactly. CI's bench-smoke job runs this.
+BENCH_BASELINE ?= BENCH_2026-08-05_tiled.json
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ 2>&1 | tee bench_smoke.txt
-	$(GO) run ./cmd/aitax-bench -parse bench_smoke.txt -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
-	@echo "wrote BENCH_$(BENCH_DATE).json"
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ ./internal/par/ 2>&1 | tee bench_smoke.txt
+	$(GO) run ./cmd/aitax-bench -parse bench_smoke.txt -date $(BENCH_DATE) -out BENCH_smoke.json
+	$(GO) run ./cmd/aitax-bench -compare -allocs-only $(BENCH_BASELINE) BENCH_smoke.json
 
 # Regenerate every paper table/figure plus the extensions.
 experiments:
@@ -71,4 +76,4 @@ trace-demo:
 	@echo "trace-demo ok: open trace_demo.json in ui.perfetto.dev"
 
 clean:
-	rm -f test_output.txt bench_output.txt bench_smoke.txt trace_demo.json trace_demo.prom trace_demo.jsonl
+	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl

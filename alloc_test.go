@@ -39,6 +39,24 @@ func TestInPlaceKernelsDoNotAllocate(t *testing.T) {
 	anchors := postproc.DefaultAnchors(26)[:1917]
 	boxes := postproc.DecodeBoxes(dets[0], dets[1], anchors, 0.5)
 	var kept, nmsScratch []postproc.Box
+	var decoded []postproc.Box
+
+	deeplab, err := aitax.ModelByName("Deeplab v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segScores := aitax.FabricateOutputs(deeplab, aitax.Float32, 1)[0]
+	var mask []int
+
+	posenet, err := aitax.ModelByName("PoseNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poseOuts := aitax.FabricateOutputs(posenet, aitax.Float32, 1)
+	var keypoints []postproc.Keypoint
+
+	fusedN := &tensor.Tensor{}
+	fusedQ := &tensor.Tensor{}
 
 	cases := []struct {
 		name string
@@ -51,12 +69,31 @@ func TestInPlaceKernelsDoNotAllocate(t *testing.T) {
 		{"QuantizeInputInto", func() {
 			preproc.QuantizeInputInto(quant, resized, tensor.UInt8, tensor.QuantParams{Scale: 1})
 		}},
+		{"ResizeNormalizeInto", func() { preproc.ResizeNormalizeInto(fusedN, scene, 224, 224, 127.5, 127.5) }},
+		{"ResizeQuantizeInto", func() {
+			preproc.ResizeQuantizeInto(fusedQ, scene, 224, 224, tensor.UInt8, tensor.QuantParams{Scale: 1})
+		}},
 		{"TopKInto", func() { classes = postproc.TopKInto(classes[:0], scores, 5) }},
+		{"FlattenMaskInto", func() { mask = postproc.FlattenMaskInto(mask[:0], segScores) }},
+		{"DecodeBoxesInto", func() {
+			decoded = postproc.DecodeBoxesInto(decoded[:0], dets[0], dets[1], anchors, 0.5)
+		}},
+		{"DecodeKeypointsInto", func() {
+			keypoints = postproc.DecodeKeypointsInto(keypoints[:0], poseOuts[0], poseOuts[1], 32)
+		}},
 		{"NMSInto", func() { kept = postproc.NMSInto(kept[:0], &nmsScratch, boxes, 0.5, 10) }},
 	}
 	for _, c := range cases {
 		c.fn() // reach steady state: first call may size buffers
-		if n := testing.AllocsPerRun(50, c.fn); n != 0 {
+		n := testing.AllocsPerRun(50, c.fn)
+		if n != 0 {
+			// A GC cycle landing inside the measurement window empties the
+			// sync.Pools and charges the refills to the kernel. Re-measure
+			// over a longer window: one-off refills average away, a real
+			// per-call allocation still reads >= 1.
+			n = testing.AllocsPerRun(400, c.fn)
+		}
+		if n != 0 {
 			t.Errorf("%s allocates %.0f times per call at steady state, want 0", c.name, n)
 		}
 	}

@@ -65,6 +65,7 @@ func main() {
 	date := flag.String("date", "", "with -parse: report date (default today, YYYY-MM-DD)")
 	compare := flag.Bool("compare", false, "compare two JSON reports (old.json new.json); exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.10, "with -compare: allowed fractional growth in ns/op or allocs/op")
+	allocsOnly := flag.Bool("allocs-only", false, "with -compare: gate only zero-alloc benchmarks (baseline 0 allocs/op must stay 0; for 1-iteration smoke runs)")
 	flag.Parse()
 
 	if *list {
@@ -81,7 +82,7 @@ func main() {
 		if flag.NArg() != 2 {
 			check(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
 		}
-		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocsOnly)
 		check(err)
 		if !ok {
 			os.Exit(1)
@@ -162,8 +163,11 @@ func runParse(in, out, date string) error {
 }
 
 // runCompare gates a new report against an old one; ok=false means at
-// least one benchmark regressed beyond the threshold.
-func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
+// least one benchmark regressed beyond the threshold. With allocsOnly,
+// only a zero-alloc benchmark gaining allocations fails the gate (the
+// mode CI's 1-iteration smoke run uses, where wall time and warm-up
+// alloc counts are noise but 0 → n allocs is exact).
+func runCompare(oldPath, newPath string, threshold float64, allocsOnly bool) (bool, error) {
 	readReport := func(p string) (*benchfmt.Report, error) {
 		f, err := os.Open(p)
 		if err != nil {
@@ -180,9 +184,16 @@ func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	c := benchfmt.Compare(oldRep, newRep, threshold)
-	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
-		oldPath, oldRep.Date, newPath, newRep.Date, threshold*100)
+	var c *benchfmt.Comparison
+	mode := ""
+	if allocsOnly {
+		c = benchfmt.CompareAllocs(oldRep, newRep, threshold)
+		mode = " (allocs only)"
+	} else {
+		c = benchfmt.Compare(oldRep, newRep, threshold)
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%%s\n",
+		oldPath, oldRep.Date, newPath, newRep.Date, threshold*100, mode)
 	c.Render(os.Stdout)
 	if regs := c.Regressions(); len(regs) > 0 {
 		fmt.Printf("FAIL: %d benchmark(s) regressed beyond %.0f%%\n", len(regs), threshold*100)

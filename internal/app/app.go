@@ -16,8 +16,10 @@ import (
 
 	"aitax/internal/capture"
 	"aitax/internal/fastrpc"
+	"aitax/internal/imaging"
 	"aitax/internal/models"
 	"aitax/internal/postproc"
+	"aitax/internal/preproc"
 	"aitax/internal/sched"
 	"aitax/internal/sim"
 	"aitax/internal/telemetry"
@@ -48,6 +50,11 @@ type Config struct {
 	// fabricated model outputs in addition to costing them in virtual
 	// time (used by the runnable examples).
 	RealPostprocess bool
+	// RealPreprocess executes the actual pre-processing kernels (bitmap
+	// conversion plus the model's fused resize+normalize/quantize
+	// pipeline) on the captured frame in addition to costing the stage
+	// in virtual time. Host-side only: FrameStats are unchanged.
+	RealPreprocess bool
 	// PreOnDSP offloads the pre-processing stage to the DSP through
 	// FastRPC (a FastCV-style pipeline) — the jointly-accelerate-the-
 	// mundane-stages direction the paper's conclusion proposes. The DSP
@@ -116,6 +123,14 @@ type App struct {
 	preDSPDown bool // the DSP pre-processing path failed; stay on CPU
 
 	post postScratch
+	pre  preScratch
+}
+
+// preScratch holds the buffers runRealPreprocess recycles across
+// frames: the decoded ARGB bitmap and the preproc pipeline's scratch.
+type preScratch struct {
+	argb *imaging.ARGBImage
+	run  preproc.RunScratch
 }
 
 // postScratch holds the buffers runRealPostprocess recycles across
@@ -275,6 +290,9 @@ func (a *App) ProcessFrame(done func(FrameStats)) {
 				preStart := a.rt.Eng.Now()
 				preSpan := tr.Start("pre", "preproc", telemetry.TrackCPU, frame)
 				a.runPre(preW, spec.Native, preSpan, func() {
+					if a.cfg.RealPreprocess {
+						a.runRealPreprocess(f, spec)
+					}
 					st.Pre = a.rt.Eng.Now().Sub(preStart)
 					preSpan.End()
 
@@ -459,6 +477,20 @@ func (a *App) runPre(w work.Work, native bool, parent *telemetry.ActiveSpan, don
 		}
 		done()
 	})
+}
+
+// runRealPreprocess executes the genuine pre-processing kernels on the
+// delivered frame: the NV21→ARGB bitmap conversion followed by the
+// model's pipeline (fused resize+convert). All buffers come from the
+// app's scratch, so steady state allocates nothing; the input tensor is
+// discarded — model I/O is fabricated separately, as in post.
+func (a *App) runRealPreprocess(f *capture.Frame, spec preproc.Spec) {
+	s := &a.pre
+	if s.argb == nil {
+		s.argb = &imaging.ARGBImage{}
+	}
+	capture.ConvertFrameInto(s.argb, f)
+	spec.RunInto(&s.run, s.argb)
 }
 
 // runRealPostprocess executes the genuine algorithms on fabricated

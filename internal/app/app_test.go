@@ -403,3 +403,42 @@ func TestAppSoak(t *testing.T) {
 		t.Fatalf("steady-state drift %.3fx over 600 frames", drift)
 	}
 }
+
+func TestRealPreprocessRunsAndKeepsStatsIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dt   tensor.DType
+	}{
+		{"MobileNet 1.0 v1", tensor.UInt8},
+		{"MobileNet 1.0 v1", tensor.Float32},
+		{"Deeplab v3", tensor.Float32},
+		{"PoseNet", tensor.Float32},
+	} {
+		var runs [2][]FrameStats
+		for i, real := range []bool{false, true} {
+			rt := tflite.NewStack(soc.Pixel3(), 7)
+			m, _ := models.ByName(tc.name)
+			a, err := New(rt, Config{Model: m, DType: tc.dt,
+				Delegate: tflite.DelegateCPU, RealPreprocess: real})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.cam.Synthesize = true
+			a.Init(func() {
+				a.Run(3, func(st []FrameStats) { runs[i] = st })
+			})
+			rt.Eng.Run()
+			if len(runs[i]) != 3 {
+				t.Fatalf("%s real=%v: %d frames", tc.name, real, len(runs[i]))
+			}
+		}
+		// The real kernels run on the host only; the simulated stage
+		// breakdown must not notice them.
+		for f := range runs[0] {
+			if runs[0][f] != runs[1][f] {
+				t.Fatalf("%s frame %d: stats differ with RealPreprocess: %+v vs %+v",
+					tc.name, f, runs[0][f], runs[1][f])
+			}
+		}
+	}
+}

@@ -211,6 +211,21 @@ func ratio(oldV, newV float64) float64 {
 // Compare matches benchmarks by name and flags entries whose ns/op or
 // allocs/op grew by more than threshold (0.10 = 10%).
 func Compare(old, new *Report, threshold float64) *Comparison {
+	return compare(old, new, threshold, false)
+}
+
+// CompareAllocs is Compare restricted to the zero-alloc gate: a
+// benchmark that was allocation-free in the old report must stay at 0
+// allocs/op; everything else (ns/op, nonzero alloc counts) is reported
+// without gating. This is the mode for single-iteration CI smoke runs:
+// wall time is pure noise there, and nonzero alloc counts are inflated
+// by first-call cache/pool warm-up, but 0 → n on a steady-state-zero
+// hot path is an exact, reproducible regression.
+func CompareAllocs(old, new *Report, threshold float64) *Comparison {
+	return compare(old, new, threshold, true)
+}
+
+func compare(old, new *Report, threshold float64, allocsOnly bool) *Comparison {
 	c := &Comparison{}
 	newSeen := make(map[string]bool)
 	for _, ne := range new.Entries {
@@ -231,11 +246,17 @@ func Compare(old, new *Report, threshold float64) *Comparison {
 			NewAllocs:   ne.AllocsPerOp,
 			AllocsRatio: ratio(oe.AllocsPerOp, ne.AllocsPerOp),
 		}
-		if d.NsRatio > 1+threshold && oe.NsPerOp >= minNsFloor {
-			d.Regressed = true
-		}
-		if d.AllocsRatio > 1+threshold {
-			d.Regressed = true
+		if allocsOnly {
+			if oe.AllocsPerOp == 0 && ne.AllocsPerOp > 0 {
+				d.Regressed = true
+			}
+		} else {
+			if d.NsRatio > 1+threshold && oe.NsPerOp >= minNsFloor {
+				d.Regressed = true
+			}
+			if d.AllocsRatio > 1+threshold {
+				d.Regressed = true
+			}
 		}
 		c.Deltas = append(c.Deltas, d)
 	}

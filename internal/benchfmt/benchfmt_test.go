@@ -126,6 +126,23 @@ func TestCompareNoiseFloorAndZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestCompareAllocsGatesOnlyZeroAllocPaths(t *testing.T) {
+	// A 10x wall-time swing and nonzero alloc growth (both normal for
+	// -benchtime=1x smoke runs, which pay first-call warm-up) must not
+	// fail the allocs-only gate...
+	old := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 4})
+	newR := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 1000000, AllocsPerOp: 9})
+	if regs := CompareAllocs(old, newR, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("warm-up deltas flagged in allocs-only mode: %+v", regs)
+	}
+	// ...but an alloc appearing on a zero-alloc path still must.
+	old.Entries[0].AllocsPerOp = 0
+	newR.Entries[0].AllocsPerOp = 1
+	if regs := CompareAllocs(old, newR, 0.10).Regressions(); len(regs) != 1 {
+		t.Fatalf("0→1 allocs not flagged in allocs-only mode: %+v", regs)
+	}
+}
+
 func TestRenderMarksRegressions(t *testing.T) {
 	old := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 100})
 	newR := mkReport(Entry{Name: "BenchmarkA", NsPerOp: 150000, AllocsPerOp: 100})

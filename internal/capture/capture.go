@@ -117,3 +117,10 @@ func (c *Camera) Capture(done func(*Frame)) {
 func ConvertFrame(f *Frame) *imaging.ARGBImage {
 	return imaging.YUVToARGB(f.Image)
 }
+
+// ConvertFrameInto is the scratch-reusing variant of ConvertFrame: the
+// bitmap is decoded into dst, which steady-state callers recycle every
+// frame so the conversion allocates nothing. Returns dst.
+func ConvertFrameInto(dst *imaging.ARGBImage, f *Frame) *imaging.ARGBImage {
+	return imaging.YUVToARGBInto(dst, f.Image)
+}

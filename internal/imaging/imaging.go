@@ -6,7 +6,9 @@ package imaging
 
 import (
 	"fmt"
+	"sync"
 
+	"aitax/internal/par"
 	"aitax/internal/sim"
 )
 
@@ -87,6 +89,45 @@ func clampU8(v int) uint8 {
 	return uint8(v)
 }
 
+// Fixed-point coefficient tables for the BT.601 conversions. Each table
+// is one term of the original per-pixel integer expressions, precomputed
+// over the 256 possible byte values, so the kernels replace multiplies
+// with lookups while producing bit-identical sums (the arithmetic is the
+// same int math, merely hoisted; TestYUVToARGBMatchesScalarReference and
+// TestARGBToYUVMatchesScalarReference pin the equivalence).
+var (
+	// YUV -> ARGB: r = (1192*y' + 1634*v') >> 10, etc., with
+	// y' = max(Y-16, 0) and u'/v' = U/V - 128.
+	lumTab [256]int32 // 1192 * max(y-16, 0)
+	rvTab  [256]int32 // 1634 * (v-128)
+	gvTab  [256]int32 // -833 * (v-128)
+	guTab  [256]int32 // -400 * (u-128)
+	buTab  [256]int32 // 2066 * (u-128)
+
+	// ARGB -> YUV: y = (66r + 129g + 25b + 128) >> 8, etc.
+	yrTab, ygTab, ybTab [256]int32 // 66r, 129g, 25b
+	urTab, ugTab, ubTab [256]int32 // -38r, -74g, 112b
+	vrTab, vgTab, vbTab [256]int32 // 112r, -94g, -18b
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		y := i - 16
+		if y < 0 {
+			y = 0
+		}
+		lumTab[i] = int32(1192 * y)
+		c := i - 128
+		rvTab[i] = int32(1634 * c)
+		gvTab[i] = int32(-833 * c)
+		guTab[i] = int32(-400 * c)
+		buTab[i] = int32(2066 * c)
+		yrTab[i], ygTab[i], ybTab[i] = int32(66*i), int32(129*i), int32(25*i)
+		urTab[i], ugTab[i], ubTab[i] = int32(-38*i), int32(-74*i), int32(112*i)
+		vrTab[i], vgTab[i], vbTab[i] = int32(112*i), int32(-94*i), int32(-18*i)
+	}
+}
+
 // YUVToARGB converts an NV21 frame to an ARGB_8888 bitmap using the BT.601
 // integer conversion the Android framework applies. This is the real work
 // the "bitmap formatting" stage performs.
@@ -94,31 +135,47 @@ func YUVToARGB(src *YUVImage) *ARGBImage {
 	return YUVToARGBInto(NewARGB(src.Width, src.Height), src)
 }
 
-// YUVToARGBInto is the in-place variant of YUVToARGB: it converts into
-// dst (resized to match src) and allocates nothing when dst's backing
-// array is already large enough. Returns dst.
-func YUVToARGBInto(dst *ARGBImage, src *YUVImage) *ARGBImage {
-	w, h := src.Width, src.Height
-	dst.Resize(w, h)
-	for j := 0; j < h; j++ {
+// yuvToARGBTask tiles the conversion by output row; each NV21 chroma row
+// serves a pair of luma rows read-only, so row tiles are independent.
+type yuvToARGBTask struct {
+	dst *ARGBImage
+	src *YUVImage
+}
+
+var yuvToARGBTasks = sync.Pool{New: func() any { return new(yuvToARGBTask) }}
+
+func (t *yuvToARGBTask) Tile(lo, hi int) {
+	src, dst := t.src, t.dst
+	w := src.Width
+	for j := lo; j < hi; j++ {
 		yRow := src.Y[j*w : j*w+w]
 		vuRow := src.VU[(j/2)*w : (j/2)*w+w]
 		out := dst.Pix[j*w : j*w+w]
-		for i := 0; i < w; i++ {
-			y := int(yRow[i]) - 16
-			if y < 0 {
-				y = 0
-			}
-			vuIdx := i &^ 1
-			v := int(vuRow[vuIdx]) - 128
-			u := int(vuRow[vuIdx+1]) - 128
-			y1192 := 1192 * y
-			r := clampU8((y1192 + 1634*v) >> 10)
-			g := clampU8((y1192 - 833*v - 400*u) >> 10)
-			b := clampU8((y1192 + 2066*u) >> 10)
-			out[i] = PackRGB(r, g, b)
+		// NV21 width is even; walk pixel pairs so each (V, U) sample and
+		// its chroma products load once per pair instead of per pixel.
+		for i := 0; i < w; i += 2 {
+			v, u := vuRow[i], vuRow[i+1]
+			rC, gC, bC := rvTab[v], gvTab[v]+guTab[u], buTab[u]
+			y0 := lumTab[yRow[i]]
+			out[i] = PackRGB(clampU8(int(y0+rC)>>10), clampU8(int(y0+gC)>>10), clampU8(int(y0+bC)>>10))
+			y1 := lumTab[yRow[i+1]]
+			out[i+1] = PackRGB(clampU8(int(y1+rC)>>10), clampU8(int(y1+gC)>>10), clampU8(int(y1+bC)>>10))
 		}
 	}
+}
+
+// YUVToARGBInto is the in-place variant of YUVToARGB: it converts into
+// dst (resized to match src) and allocates nothing when dst's backing
+// array is already large enough. The conversion runs on the par tile
+// scheduler over precomputed coefficient tables; output is bit-identical
+// to the scalar BT.601 reference at any worker count. Returns dst.
+func YUVToARGBInto(dst *ARGBImage, src *YUVImage) *ARGBImage {
+	dst.Resize(src.Width, src.Height)
+	t := yuvToARGBTasks.Get().(*yuvToARGBTask)
+	t.dst, t.src = dst, src
+	par.For(src.Height, t)
+	t.dst, t.src = nil, nil
+	yuvToARGBTasks.Put(t)
 	return dst
 }
 
@@ -129,36 +186,56 @@ func ARGBToYUV(src *ARGBImage) *YUVImage {
 	return ARGBToYUVInto(NewYUV(src.Width&^1, src.Height&^1), src)
 }
 
-// ARGBToYUVInto is the in-place variant of ARGBToYUV: it converts into
-// dst (resized to src's even dimensions) and allocates nothing when
-// dst's backing arrays are already large enough. Returns dst.
-func ARGBToYUVInto(dst *YUVImage, src *ARGBImage) *YUVImage {
-	dst.Resize(src.Width&^1, src.Height&^1)
-	w, h := dst.Width, dst.Height
-	for j := 0; j < h; j++ {
+// argbToYUVTask tiles the conversion by NV21 row *pair* (one luma pair
+// plus its shared chroma row), so every VU write stays inside the tile
+// that owns it and tiles remain independent.
+type argbToYUVTask struct {
+	dst *YUVImage
+	src *ARGBImage
+}
+
+var argbToYUVTasks = sync.Pool{New: func() any { return new(argbToYUVTask) }}
+
+func (t *argbToYUVTask) Tile(lo, hi int) {
+	src, dst := t.src, t.dst
+	w := dst.Width
+	for j := 2 * lo; j < 2*hi; j++ {
 		srcRow := src.Pix[j*src.Width : j*src.Width+w]
 		yRow := dst.Y[j*w : j*w+w]
 		if j%2 == 0 {
 			vuRow := dst.VU[(j/2)*w : (j/2)*w+w]
 			for i := 0; i < w; i++ {
-				r, g, b := RGB(srcRow[i])
-				y := (66*int(r) + 129*int(g) + 25*int(b) + 128) >> 8
-				yRow[i] = clampU8(y + 16)
+				p := srcRow[i]
+				r, g, b := uint8(p>>16), uint8(p>>8), uint8(p)
+				yRow[i] = clampU8(int((yrTab[r]+ygTab[g]+ybTab[b]+128)>>8) + 16)
 				if i%2 == 0 {
-					u := (-38*int(r) - 74*int(g) + 112*int(b) + 128) >> 8
-					v := (112*int(r) - 94*int(g) - 18*int(b) + 128) >> 8
-					vuRow[i] = clampU8(v + 128)
-					vuRow[i+1] = clampU8(u + 128)
+					u := (urTab[r] + ugTab[g] + ubTab[b] + 128) >> 8
+					v := (vrTab[r] + vgTab[g] + vbTab[b] + 128) >> 8
+					vuRow[i] = clampU8(int(v) + 128)
+					vuRow[i+1] = clampU8(int(u) + 128)
 				}
 			}
 		} else {
 			for i := 0; i < w; i++ {
-				r, g, b := RGB(srcRow[i])
-				y := (66*int(r) + 129*int(g) + 25*int(b) + 128) >> 8
-				yRow[i] = clampU8(y + 16)
+				p := srcRow[i]
+				yRow[i] = clampU8(int((yrTab[uint8(p>>16)]+ygTab[uint8(p>>8)]+ybTab[uint8(p)]+128)>>8) + 16)
 			}
 		}
 	}
+}
+
+// ARGBToYUVInto is the in-place variant of ARGBToYUV: it converts into
+// dst (resized to src's even dimensions) and allocates nothing when
+// dst's backing arrays are already large enough. Runs tiled by row pair
+// on precomputed coefficient tables; bit-identical to the scalar BT.601
+// reference at any worker count. Returns dst.
+func ARGBToYUVInto(dst *YUVImage, src *ARGBImage) *YUVImage {
+	dst.Resize(src.Width&^1, src.Height&^1)
+	t := argbToYUVTasks.Get().(*argbToYUVTask)
+	t.dst, t.src = dst, src
+	par.For(dst.Height/2, t)
+	t.dst, t.src = nil, nil
+	argbToYUVTasks.Put(t)
 	return dst
 }
 
@@ -170,6 +247,28 @@ func SyntheticScene(width, height int, seed uint64) *ARGBImage {
 	return SyntheticSceneInto(GetARGB(width, height), seed)
 }
 
+// gradientTask fills the scene's gradient background rows from the
+// per-axis tables; rows are independent, so it tiles on the scheduler.
+type gradientTask struct {
+	img   *ARGBImage
+	rCol  []uint32
+	bDiag []uint32
+}
+
+func (t *gradientTask) Tile(lo, hi int) {
+	width := t.img.Width
+	for j := lo; j < hi; j++ {
+		gRow := 0xFF000000 | uint32(uint8(255*j/t.img.Height))<<8
+		row := t.img.Pix[j*width : j*width+width]
+		diag := t.bDiag[j : j+width]
+		for i := range row {
+			row[i] = gRow | t.rCol[i] | diag[i]
+		}
+	}
+}
+
+var gradientTasks = sync.Pool{New: func() any { return new(gradientTask) }}
+
 // SyntheticSceneInto paints the procedural scene into dst, overwriting
 // every pixel. The pixel content for a given (dimensions, seed) pair is
 // identical to SyntheticScene's. Returns dst.
@@ -179,23 +278,22 @@ func SyntheticSceneInto(dst *ARGBImage, seed uint64) *ARGBImage {
 	width, height := img.Width, img.Height
 	// Gradient background. The channel values depend only on the column
 	// (r), row (g) and diagonal (b), so the integer divisions are hoisted
-	// into per-axis tables and each pixel is an OR of prepacked parts.
-	rCol := make([]uint32, width)
-	bDiag := make([]uint32, width+height)
+	// into per-axis tables (recycled across frames) and each pixel is an
+	// OR of prepacked parts, painted row-tiled.
+	grad := gradientTasks.Get().(*gradientTask)
+	grad.img = img
+	grad.rCol = growUint32(grad.rCol, width)
+	grad.bDiag = growUint32(grad.bDiag, width+height)
+	rCol, bDiag := grad.rCol, grad.bDiag
 	for i := 0; i < width; i++ {
 		rCol[i] = uint32(uint8(255*i/width)) << 16
 	}
 	for s := 0; s < width+height; s++ {
 		bDiag[s] = uint32(uint8(s * 255 / (width + height)))
 	}
-	for j := 0; j < height; j++ {
-		gRow := 0xFF000000 | uint32(uint8(255*j/height))<<8
-		row := img.Pix[j*width : j*width+width]
-		diag := bDiag[j : j+width]
-		for i := range row {
-			row[i] = gRow | rCol[i] | diag[i]
-		}
-	}
+	par.For(height, grad)
+	grad.img = nil
+	gradientTasks.Put(grad)
 	// Rectangles simulating objects.
 	for k := 0; k < 4; k++ {
 		x0 := rng.Intn(width * 3 / 4)

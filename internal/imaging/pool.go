@@ -70,3 +70,10 @@ func growBytes(b []byte, n int) []byte {
 	}
 	return make([]byte, n)
 }
+
+func growUint32(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
+}

@@ -11,6 +11,7 @@ import (
 	"slices"
 	"sort"
 
+	"aitax/internal/par"
 	"aitax/internal/tensor"
 	"aitax/internal/work"
 )
@@ -148,7 +149,10 @@ func FlattenMask(t *tensor.Tensor) []int {
 }
 
 // FlattenMaskInto is the allocation-free variant of FlattenMask: the
-// mask is written into dst's storage (grown only if too small).
+// mask is written into dst's storage (grown only if too small). The
+// argmax runs tiled over the pixel range with dtype-specialized inner
+// loops (see fastpath.go); the result is identical to the sequential
+// At-based scan for every dtype.
 func FlattenMaskInto(dst []int, t *tensor.Tensor) []int {
 	if len(t.Shape) != 4 {
 		panic("postproc: FlattenMask expects NHWC scores")
@@ -159,16 +163,14 @@ func FlattenMaskInto(dst []int, t *tensor.Tensor) []int {
 		mask = make([]int, h*w)
 	}
 	mask = mask[:h*w]
-	for p := 0; p < h*w; p++ {
-		base := p * c
-		best, bestScore := 0, t.At(base)
-		for ch := 1; ch < c; ch++ {
-			if s := t.At(base + ch); s > bestScore {
-				best, bestScore = ch, s
-			}
-		}
-		mask[p] = best
+	if c == 0 {
+		return mask
 	}
+	task := maskTaskPool.Get().(*maskTask)
+	*task = maskTask{t: t, c: c, mask: mask}
+	par.For(h*w, task)
+	*task = maskTask{}
+	maskTaskPool.Put(task)
 	return mask
 }
 
@@ -196,6 +198,8 @@ func DecodeKeypoints(heatmaps, offsets *tensor.Tensor, outputStride int) []Keypo
 
 // DecodeKeypointsInto is the allocation-free variant of DecodeKeypoints:
 // keypoints are written into dst's storage (grown only if too small).
+// Each keypoint's heatmap scan is an independent tile (grain 1 — a scan
+// covers the whole H×W map, so even 17 keypoints are worth spreading).
 func DecodeKeypointsInto(dst []Keypoint, heatmaps, offsets *tensor.Tensor, outputStride int) []Keypoint {
 	if len(heatmaps.Shape) != 4 || len(offsets.Shape) != 4 {
 		panic("postproc: DecodeKeypoints expects NHWC tensors")
@@ -206,25 +210,11 @@ func DecodeKeypointsInto(dst []Keypoint, heatmaps, offsets *tensor.Tensor, outpu
 		out = make([]Keypoint, k)
 	}
 	out = out[:k]
-	for kp := 0; kp < k; kp++ {
-		bestY, bestX, bestScore := 0, 0, math.Inf(-1)
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				s := heatmaps.At(((y*w)+x)*k + kp)
-				if s > bestScore {
-					bestY, bestX, bestScore = y, x, s
-				}
-			}
-		}
-		offBase := ((bestY * w) + bestX) * 2 * k
-		offY := offsets.At(offBase + kp)
-		offX := offsets.At(offBase + k + kp)
-		out[kp] = Keypoint{
-			Y:     float64(bestY*outputStride) + offY,
-			X:     float64(bestX*outputStride) + offX,
-			Score: sigmoid(bestScore),
-		}
-	}
+	task := kpTaskPool.Get().(*kpTask)
+	*task = kpTask{heatmaps: heatmaps, offsets: offsets, h: h, w: w, k: k, stride: outputStride, out: out}
+	par.ForGrain(k, 1, task)
+	*task = kpTask{}
+	kpTaskPool.Put(task)
 	return out
 }
 
@@ -312,13 +302,20 @@ func DecodeBoxesInto(dst []Box, locs, scores *tensor.Tensor, anchors []Anchor, t
 	}
 	const scaleXY, scaleHW = 10.0, 5.0
 	out := dst[:0]
+	// Phase 1 — the O(N·C) score filter runs tiled over the anchors,
+	// writing each anchor's best class/score into pooled scratch.
+	sc := ssdScratchPool.Get().(*ssdScratch)
+	sc.bestC = growInt32(sc.bestC, n)
+	sc.bestS = growFloat64(sc.bestS, n)
+	task := boxScanTaskPool.Get().(*boxScanTask)
+	*task = boxScanTask{scores: scores, c: c, bestC: sc.bestC, bestS: sc.bestS}
+	par.For(n, task)
+	*task = boxScanTask{}
+	boxScanTaskPool.Put(task)
+	// Phase 2 — the cheap decode of the few surviving anchors stays
+	// sequential so detections append in anchor order, as before.
 	for i := 0; i < n; i++ {
-		bestC, bestS := 0, 0.0
-		for ch := 1; ch < c; ch++ { // skip background
-			if s := scores.At(i*c + ch); s > bestS {
-				bestC, bestS = ch, s
-			}
-		}
+		bestC, bestS := int(sc.bestC[i]), sc.bestS[i]
 		if bestC == 0 || bestS < threshold {
 			continue
 		}
@@ -335,6 +332,7 @@ func DecodeBoxesInto(dst []Box, locs, scores *tensor.Tensor, anchors []Anchor, t
 			Class: bestC, Score: bestS,
 		})
 	}
+	ssdScratchPool.Put(sc)
 	return out
 }
 

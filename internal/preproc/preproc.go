@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"aitax/internal/imaging"
+	"aitax/internal/par"
 	"aitax/internal/tensor"
 	"aitax/internal/work"
 )
@@ -25,45 +26,21 @@ func ResizeBilinear(src *imaging.ARGBImage, dstW, dstH int) *imaging.ARGBImage {
 
 // ResizeBilinearInto is the in-place variant of ResizeBilinear: it scales
 // into dst (resized to dstW×dstH) and allocates nothing when dst's
-// backing array is already large enough. Returns dst.
+// backing array is already large enough. Sample positions and lerp
+// weights come from the per-geometry coefficient cache (kernels.go) and
+// the rows are tiled across the par worker pool; the arithmetic per
+// pixel is unchanged, so the output is bit-identical to the original
+// scalar loop at any worker count. Returns dst.
 func ResizeBilinearInto(dst *imaging.ARGBImage, src *imaging.ARGBImage, dstW, dstH int) *imaging.ARGBImage {
 	if dstW <= 0 || dstH <= 0 {
 		panic(fmt.Sprintf("preproc: invalid resize target %dx%d", dstW, dstH))
 	}
 	dst.Resize(dstW, dstH)
-	xRatio := float64(src.Width-1) / float64(max(dstW-1, 1))
-	yRatio := float64(src.Height-1) / float64(max(dstH-1, 1))
-	for j := 0; j < dstH; j++ {
-		sy := yRatio * float64(j)
-		y0 := int(sy)
-		y1 := min(y0+1, src.Height-1)
-		fy := sy - float64(y0)
-		row0 := src.Pix[y0*src.Width : y0*src.Width+src.Width]
-		row1 := src.Pix[y1*src.Width : y1*src.Width+src.Width]
-		out := dst.Pix[j*dstW : j*dstW+dstW]
-		for i := 0; i < dstW; i++ {
-			sx := xRatio * float64(i)
-			x0 := int(sx)
-			x1 := min(x0+1, src.Width-1)
-			fx := sx - float64(x0)
-
-			r00, g00, b00 := imaging.RGB(row0[x0])
-			r10, g10, b10 := imaging.RGB(row0[x1])
-			r01, g01, b01 := imaging.RGB(row1[x0])
-			r11, g11, b11 := imaging.RGB(row1[x1])
-
-			lerp := func(a, b, c, d uint8) uint8 {
-				top := float64(a)*(1-fx) + float64(b)*fx
-				bot := float64(c)*(1-fx) + float64(d)*fx
-				return uint8(top*(1-fy) + bot*fy + 0.5)
-			}
-			out[i] = imaging.PackRGB(
-				lerp(r00, r10, r01, r11),
-				lerp(g00, g10, g01, g11),
-				lerp(b00, b10, b01, b11),
-			)
-		}
-	}
+	task := resizeTaskPool.Get().(*resizeTask)
+	*task = resizeTask{plan: planFor(src.Width, src.Height, dstW, dstH), src: src, dst: dst}
+	par.For(dstH, task)
+	*task = resizeTask{}
+	resizeTaskPool.Put(task)
 	return dst
 }
 
@@ -189,17 +166,11 @@ func NormalizeInto(dst *tensor.Tensor, src *imaging.ARGBImage, mean, std float64
 		panic("preproc: zero normalization std")
 	}
 	t := tensor.Ensure(dst, tensor.Float32, tensor.Shape{1, src.Height, src.Width, 3})
-	idx := 0
-	for j := 0; j < src.Height; j++ {
-		row := src.Pix[j*src.Width : j*src.Width+src.Width]
-		for _, p := range row {
-			r, g, b := imaging.RGB(p)
-			t.F32[idx] = float32((float64(r) - mean) / std)
-			t.F32[idx+1] = float32((float64(g) - mean) / std)
-			t.F32[idx+2] = float32((float64(b) - mean) / std)
-			idx += 3
-		}
-	}
+	task := normalizeTaskPool.Get().(*normalizeTask)
+	*task = normalizeTask{src: src, tab: normTabFor(mean, std), out: t.F32}
+	par.For(src.Height, task)
+	*task = normalizeTask{}
+	normalizeTaskPool.Put(task)
 	return t
 }
 
@@ -222,6 +193,21 @@ func QuantizeInput(src *imaging.ARGBImage, dt tensor.DType, q tensor.QuantParams
 func QuantizeInputInto(dst *tensor.Tensor, src *imaging.ARGBImage, dt tensor.DType, q tensor.QuantParams) *tensor.Tensor {
 	t := tensor.Ensure(dst, dt, tensor.Shape{1, src.Height, src.Width, 3})
 	t.Quant = q
+	if dt == tensor.UInt8 || dt == tensor.Int8 {
+		// Byte targets collapse to a cached 256-entry table built with
+		// the same Quantize call the scalar loop made per channel.
+		task := quantizeTaskPool.Get().(*quantizeTask)
+		*task = quantizeTask{src: src, tab: quantTabFor(dt, q)}
+		if dt == tensor.UInt8 {
+			task.u8 = t.U8
+		} else {
+			task.i8 = t.I8
+		}
+		par.For(src.Height, task)
+		*task = quantizeTask{}
+		quantizeTaskPool.Put(task)
+		return t
+	}
 	idx := 0
 	for j := 0; j < src.Height; j++ {
 		row := src.Pix[j*src.Width : j*src.Width+src.Width]

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo clean
+.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo serve-smoke clean
 
 all: build test
 
@@ -75,5 +75,14 @@ trace-demo:
 		test -s $$f || { echo "$$f missing or empty"; exit 1; }; done
 	@echo "trace-demo ok: open trace_demo.json in ui.perfetto.dev"
 
+# Serving smoke: the deterministic load simulation diffed against the
+# committed golden report, at two worker-pool widths to prove the
+# report is parallelism-independent (see docs/SERVE.md).
+serve-smoke:
+	$(GO) run ./cmd/aitax-serve -loadgen > serve_smoke.txt
+	diff -u cmd/aitax-serve/testdata/load_report.golden serve_smoke.txt
+	$(GO) run ./cmd/aitax-serve -loadgen -parallel 1 | diff -u cmd/aitax-serve/testdata/load_report.golden -
+	@echo "serve-smoke ok: load report matches golden at any parallelism"
+
 clean:
-	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl
+	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt

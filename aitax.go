@@ -61,10 +61,25 @@ type (
 	Support = models.Support
 )
 
+// Typed lookup failures. The lookup helpers wrap these sentinels, so
+// callers branch with errors.Is — a serving frontend maps
+// ErrUnknownModel to a 404 — instead of matching message text.
+var (
+	// ErrUnknownModel is wrapped by ModelByName when no model matches.
+	ErrUnknownModel = models.ErrUnknownModel
+	// ErrUnknownPlatform is wrapped by PlatformByName when no platform
+	// matches.
+	ErrUnknownPlatform = soc.ErrUnknownPlatform
+	// ErrUnknownExperiment is wrapped by ExperimentByID when no
+	// experiment matches.
+	ErrUnknownExperiment = bench.ErrUnknownExperiment
+)
+
 // Models returns the Table-I model zoo in row order.
 func Models() []*Model { return models.All() }
 
-// ModelByName looks a model up by its Table-I name.
+// ModelByName looks a model up by its Table-I name (aliases like
+// "MobileNetV1" work). A failed lookup wraps ErrUnknownModel.
 func ModelByName(name string) (*Model, error) { return models.ByName(name) }
 
 // ModelNames lists the zoo's names in Table-I order.
@@ -81,7 +96,8 @@ type (
 // Platforms returns the four Table-II platforms.
 func Platforms() []*SoC { return soc.Platforms() }
 
-// PlatformByName finds a platform by product or chipset name.
+// PlatformByName finds a platform by product or chipset name. A failed
+// lookup wraps ErrUnknownPlatform.
 func PlatformByName(name string) (*SoC, error) { return soc.PlatformByName(name) }
 
 // Pixel3 returns the paper's primary platform (Snapdragon 845).
@@ -201,7 +217,8 @@ type (
 // Experiments lists every regenerable table and figure in paper order.
 func Experiments() []Experiment { return bench.Experiments() }
 
-// ExperimentByID finds an experiment ("table1", "fig5", ...).
+// ExperimentByID finds an experiment ("table1", "fig5", ...). A failed
+// lookup wraps ErrUnknownExperiment.
 func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }
 
 // RunAllExperiments regenerates every experiment across a worker pool of
@@ -385,17 +402,19 @@ func (o AppOptions) Defaults() AppOptions {
 	return o
 }
 
-// MeasureApp runs the instrumented application end to end on the
-// simulated platform and returns the per-stage AI-tax breakdown — the
-// library's one-call answer to "where does my ML app's time go?".
+// MeasureApp is MeasureAppCtx with context.Background(). New code
+// should prefer the Ctx form: the non-ctx names exist only as
+// one-line conveniences for scripts and examples.
 func MeasureApp(opts AppOptions) (Breakdown, error) {
 	return MeasureAppCtx(context.Background(), opts)
 }
 
-// MeasureAppCtx is MeasureApp with cancellation: the simulation checks
-// ctx between event batches and aborts promptly when it is cancelled.
-// When run inside a lab job it also attributes the simulated virtual
-// time to the job's accounting.
+// MeasureAppCtx runs the instrumented application end to end on the
+// simulated platform and returns the per-stage AI-tax breakdown — the
+// library's one-call answer to "where does my ML app's time go?". It is
+// the canonical form: the simulation checks ctx between event batches
+// and aborts promptly when it is cancelled, and when run inside a lab
+// job it attributes the simulated virtual time to the job's accounting.
 func MeasureAppCtx(ctx context.Context, opts AppOptions) (Breakdown, error) {
 	frames, err := MeasureAppFramesCtx(ctx, opts)
 	if err != nil {
@@ -404,17 +423,19 @@ func MeasureAppCtx(ctx context.Context, opts AppOptions) (Breakdown, error) {
 	return core.FromFrames(frames), nil
 }
 
-// MeasureBenchmark runs the TFLite-style benchmark utility for the same
-// model and returns its per-run samples — the inference-only view the
-// paper contrasts applications against. Options the benchmark utility
-// cannot honour (WarmupFrames, BackgroundJobs) are rejected with an
-// error rather than silently ignored.
+// MeasureBenchmark is MeasureBenchmarkCtx with context.Background().
+// New code should prefer the Ctx form.
 func MeasureBenchmark(opts AppOptions) ([]RunSample, error) {
 	return MeasureBenchmarkCtx(context.Background(), opts)
 }
 
-// MeasureBenchmarkCtx is MeasureBenchmark with cancellation (and lab
-// simulated-time accounting), mirroring MeasureAppCtx.
+// MeasureBenchmarkCtx runs the TFLite-style benchmark utility for the
+// same model and returns its per-run samples — the inference-only view
+// the paper contrasts applications against. It is the canonical form,
+// with cancellation and lab simulated-time accounting mirroring
+// MeasureAppCtx. Options the benchmark utility cannot honour
+// (WarmupFrames, BackgroundJobs) are rejected with an error rather than
+// silently ignored.
 func MeasureBenchmarkCtx(ctx context.Context, opts AppOptions) ([]RunSample, error) {
 	if opts.WarmupFrames != 0 {
 		return nil, fmt.Errorf("aitax: MeasureBenchmark does not honour WarmupFrames (the benchmark utility has no warmup phase); use MeasureApp, or leave it unset")
@@ -447,15 +468,16 @@ func MeasureBenchmarkCtx(ctx context.Context, opts AppOptions) ([]RunSample, err
 	return samples, nil
 }
 
-// MeasureAppFrames is MeasureApp returning the raw per-frame stage
-// breakdowns instead of the aggregate (for CSV export and custom
-// analyses).
+// MeasureAppFrames is MeasureAppFramesCtx with context.Background().
+// New code should prefer the Ctx form.
 func MeasureAppFrames(opts AppOptions) ([]FrameStats, error) {
 	return MeasureAppFramesCtx(context.Background(), opts)
 }
 
-// MeasureAppFramesCtx is MeasureAppFrames with cancellation (and lab
-// simulated-time accounting), mirroring MeasureAppCtx.
+// MeasureAppFramesCtx is MeasureAppCtx returning the raw per-frame
+// stage breakdowns instead of the aggregate (for CSV export and custom
+// analyses). It is the canonical form, with cancellation and lab
+// simulated-time accounting.
 func MeasureAppFramesCtx(ctx context.Context, opts AppOptions) ([]FrameStats, error) {
 	if opts.StdLib != LibCXX {
 		return nil, errAppStdLib()
@@ -542,17 +564,18 @@ type TraceRun struct {
 	ContextSwitches int
 }
 
-// MeasureAppTraced is MeasureAppFrames with the telemetry layer
-// switched on: the same deterministic run (traced and untraced runs of
-// one seed produce identical FrameStats) additionally yields spans,
-// flows, metrics and a Chrome trace.
+// MeasureAppTraced is MeasureAppTracedCtx with context.Background().
+// New code should prefer the Ctx form.
 func MeasureAppTraced(opts AppOptions) (*TraceRun, error) {
 	return MeasureAppTracedCtx(context.Background(), opts)
 }
 
-// MeasureAppTracedCtx is MeasureAppTraced with cancellation and lab
-// accounting: inside a lab job it reports both the simulated time and
-// the telemetry bundle, so merged aggregates are parallelism-independent.
+// MeasureAppTracedCtx is MeasureAppFramesCtx with the telemetry layer
+// switched on: the same deterministic run (traced and untraced runs of
+// one seed produce identical FrameStats) additionally yields spans,
+// flows, metrics and a Chrome trace. It is the canonical form: inside a
+// lab job it reports both the simulated time and the telemetry bundle,
+// so merged aggregates are parallelism-independent.
 func MeasureAppTracedCtx(ctx context.Context, opts AppOptions) (*TraceRun, error) {
 	if opts.StdLib != LibCXX {
 		return nil, errAppStdLib()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"aitax"
+	"aitax/internal/cli"
 )
 
 func main() {
@@ -29,9 +30,7 @@ func main() {
 	bgDelegate := flag.String("bgdelegate", "hexagon", "background delegate")
 	taxonomy := flag.Bool("taxonomy", false, "print the Fig. 1 AI-tax taxonomy and exit")
 	csvPath := flag.String("csv", "", "write per-frame stage breakdowns to this CSV file")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
-	metricsPath := flag.String("metrics", "", "write Prometheus-style metrics of the run to this path")
-	faultSpec := flag.String("faults", "", `deterministic fault plan, e.g. "rpc=0.1,timeout=0.05,init=1,seed=7" (see docs/FAULTS.md)`)
+	common := cli.Register(flag.CommandLine, cli.Options{Trace: true, Metrics: true, Faults: true})
 	flag.Parse()
 
 	if *taxonomy {
@@ -39,15 +38,15 @@ func main() {
 		return
 	}
 
-	dt, err := parseDType(*dtype)
+	dt, err := cli.ParseDType(*dtype)
 	check(err)
-	d, err := parseDelegate(*delegate)
+	d, err := cli.ParseDelegate(*delegate)
 	check(err)
-	bgd, err := parseDelegate(*bgDelegate)
+	bgd, err := cli.ParseDelegate(*bgDelegate)
 	check(err)
 	p, err := aitax.PlatformByName(*platform)
 	check(err)
-	plan, err := aitax.ParseFaultPlan(*faultSpec)
+	plan, err := common.FaultPlan()
 	check(err)
 
 	opts := aitax.AppOptions{
@@ -60,17 +59,17 @@ func main() {
 	// frames (and thus all stdout) are identical to an untraced run —
 	// only the side files and stderr notes are added.
 	var perFrame []aitax.FrameStats
-	if *tracePath != "" || *metricsPath != "" {
+	if common.Trace != "" || common.Metrics != "" {
 		tr, err := aitax.MeasureAppTraced(opts)
 		check(err)
 		perFrame = tr.Frames
-		if *tracePath != "" {
-			writeTo(*tracePath, tr.Chrome.WriteJSON)
-			fmt.Fprintf(os.Stderr, "chrome trace written to %s\n", *tracePath)
+		if common.Trace != "" {
+			writeTo(common.Trace, tr.Chrome.WriteJSON)
+			fmt.Fprintf(os.Stderr, "chrome trace written to %s\n", common.Trace)
 		}
-		if *metricsPath != "" {
-			writeTo(*metricsPath, tr.Metrics.WritePrometheus)
-			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsPath)
+		if common.Metrics != "" {
+			writeTo(common.Metrics, tr.Metrics.WritePrometheus)
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", common.Metrics)
 		}
 	} else {
 		var err error
@@ -102,39 +101,7 @@ func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond
 
 // writeTo creates path and streams write into it, exiting on error.
 func writeTo(path string, write func(io.Writer) error) {
-	f, err := os.Create(path)
-	check(err)
-	err = write(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	check(err)
-}
-
-func parseDType(s string) (aitax.DType, error) {
-	switch s {
-	case "fp32", "float32":
-		return aitax.Float32, nil
-	case "int8", "uint8", "quant":
-		return aitax.UInt8, nil
-	default:
-		return aitax.Float32, fmt.Errorf("unknown dtype %q (fp32|int8)", s)
-	}
-}
-
-func parseDelegate(s string) (aitax.Delegate, error) {
-	switch s {
-	case "cpu":
-		return aitax.DelegateCPU, nil
-	case "gpu":
-		return aitax.DelegateGPU, nil
-	case "hexagon", "dsp":
-		return aitax.DelegateHexagon, nil
-	case "nnapi":
-		return aitax.DelegateNNAPI, nil
-	default:
-		return aitax.DelegateCPU, fmt.Errorf("unknown delegate %q (cpu|gpu|hexagon|nnapi)", s)
-	}
+	check(cli.WriteFile(path, write))
 }
 
 func check(err error) {

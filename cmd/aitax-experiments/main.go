@@ -21,11 +21,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
 	"aitax"
+	"aitax/internal/cli"
 	"aitax/internal/telemetry"
 )
 
@@ -43,15 +43,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text | markdown | csv")
 	platform := fs.String("platform", "Google Pixel 3", "platform name or chipset (Table II)")
 	seed := fs.Uint64("seed", 42, "random seed (0 is a valid seed)")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
-		"worker-pool size; output is byte-identical at any value")
-	progress := fs.Bool("progress", false, "report per-experiment completion on stderr")
-	tracePath := fs.String("trace", "",
-		"write the merged telemetry of all jobs as Chrome trace-event JSON to this path")
-	metricsPath := fs.String("metrics", "",
-		"write merged run metrics (Prometheus text) to this path; identical at any -parallel")
-	faultSpec := fs.String("faults", "",
-		`custom fault plan for the faults experiment, e.g. "rpc=0.1,init=1,seed=7" (see docs/FAULTS.md)`)
+	common := cli.Register(fs, cli.Options{
+		Trace: true, Metrics: true, Faults: true, Parallel: true, Progress: true,
+	})
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	plan, err := aitax.ParseFaultPlan(*faultSpec)
+	plan, err := common.FaultPlan()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -106,8 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			},
 		}
 	}
-	l := &aitax.Lab{Parallelism: *parallel}
-	if *progress {
+	l := &aitax.Lab{Parallelism: common.Parallel}
+	if common.Progress {
 		l.OnProgress = func(r aitax.JobResult) {
 			status := "done"
 			if r.Err != nil {
@@ -135,8 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, res.Render())
 		}
 	})
-	if *tracePath != "" || *metricsPath != "" {
-		if err := exportTelemetry(results, *tracePath, *metricsPath, stderr); err != nil {
+	if common.Trace != "" || common.Metrics != "" {
+		if err := exportTelemetry(results, common.Trace, common.Metrics, stderr); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -166,7 +160,7 @@ func exportTelemetry(results []aitax.JobResult, tracePath, metricsPath string, s
 			float64(r.Sim)/float64(time.Millisecond))
 	}
 	if metricsPath != "" {
-		if err := writeTo(metricsPath, reg.WritePrometheus); err != nil {
+		if err := cli.WriteFile(metricsPath, reg.WritePrometheus); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "metrics written to %s\n", metricsPath)
@@ -174,23 +168,10 @@ func exportTelemetry(results []aitax.JobResult, tracePath, metricsPath string, s
 	if tracePath != "" {
 		chrome := aitax.NewChromeTrace()
 		chrome.AddTelemetry(bundle.Spans, bundle.Flows)
-		if err := writeTo(tracePath, chrome.WriteJSON); err != nil {
+		if err := cli.WriteFile(tracePath, chrome.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "chrome trace written to %s\n", tracePath)
 	}
 	return nil
-}
-
-// writeTo creates path and streams write into it.
-func writeTo(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"aitax"
+	"aitax/internal/cli"
 	"aitax/internal/models"
 	"aitax/internal/sim"
 	"aitax/internal/telemetry"
@@ -38,28 +39,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bucketMS := fs.Float64("bucket", 2, "timeline bucket in milliseconds")
 	platform := fs.String("platform", "Google Pixel 3", "platform (Table II)")
 	seed := fs.Uint64("seed", 42, "random seed")
-	chromeOut := fs.String("chrome", "", "also write a chrome://tracing JSON file to this path")
-	metricsOut := fs.String("metrics", "", "write Prometheus-style metrics of the window to this path")
+	common := cli.Register(fs, cli.Options{Trace: true, Metrics: true, TraceAlias: "chrome"})
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	dt := aitax.Float32
-	if *dtype == "int8" || *dtype == "uint8" || *dtype == "quant" {
-		dt = aitax.UInt8
+	dt, err := cli.ParseDType(*dtype)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	var d aitax.Delegate
-	switch *delegate {
-	case "cpu":
-		d = aitax.DelegateCPU
-	case "gpu":
-		d = aitax.DelegateGPU
-	case "hexagon", "dsp":
-		d = aitax.DelegateHexagon
-	case "nnapi":
-		d = aitax.DelegateNNAPI
-	default:
-		fmt.Fprintf(stderr, "unknown delegate %q\n", *delegate)
+	d, err := cli.ParseDelegate(*delegate)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 
@@ -78,14 +70,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Telemetry is nil-safe and perturbation-free, so it is switched on
 	// only when an export asks for it; the timeline itself is identical
 	// either way.
-	if *chromeOut != "" || *metricsOut != "" {
+	if common.Trace != "" || common.Metrics != "" {
 		rt.Tracer = telemetry.NewTracer(rt.Eng.Now)
 		rt.Metrics = telemetry.NewRegistry()
 	}
 	prof := trace.NewProfiler(rt.Eng, time.Duration(*bucketMS*float64(time.Millisecond)))
 	prof.Attach(rt.Sch)
 	var chrome *trace.ChromeRecorder
-	if *chromeOut != "" {
+	if common.Trace != "" {
 		chrome = trace.NewChromeRecorder()
 		chrome.Attach(rt.Sch)
 	}
@@ -127,31 +119,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chrome.AddSpanOccupancy("dsp in flight", spans, telemetry.TrackDSP)
 		chrome.AddSpanOccupancy("gpu in flight", spans, telemetry.TrackGPU)
 		chrome.AddFaultCounters(rt.Metrics, rt.Eng.Now())
-		if err := writeTo(*chromeOut, chrome.WriteJSON); err != nil {
+		if err := cli.WriteFile(common.Trace, chrome.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+		fmt.Fprintf(stderr, "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", common.Trace)
 	}
-	if *metricsOut != "" {
-		if err := writeTo(*metricsOut, rt.Metrics.WritePrometheus); err != nil {
+	if common.Metrics != "" {
+		if err := cli.WriteFile(common.Metrics, rt.Metrics.WritePrometheus); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "metrics written to %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "metrics written to %s\n", common.Metrics)
 	}
 	return 0
-}
-
-// writeTo creates path and streams write into it.
-func writeTo(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

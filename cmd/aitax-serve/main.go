@@ -1,0 +1,219 @@
+// Command aitax-serve runs the inference-serving frontend: per-model
+// bounded queues, micro-batching and admission control in front of the
+// simulated mobile stack.
+//
+// Two modes share one serving policy:
+//
+//	aitax-serve -addr :8080
+//	    wall-clock HTTP server (POST /v1/classify|detect|segment,
+//	    GET /v1/models, /healthz, /metrics)
+//
+//	aitax-serve -loadgen -ramp 100x1s,400x500ms -seed 7
+//	    deterministic virtual-time load simulation driven by a seeded
+//	    open-loop Poisson generator; the report (p50/p90/p99 latency,
+//	    AI tax per request, admission and batching counts) is
+//	    byte-identical for a fixed seed at any -parallel value.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"aitax"
+	"aitax/internal/app"
+	"aitax/internal/cli"
+	"aitax/internal/lab"
+	"aitax/internal/loadgen"
+	"aitax/internal/models"
+	"aitax/internal/serve"
+	"aitax/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags in, report (or server) out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aitax-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "HTTP listen address (server mode)")
+	loadMode := fs.Bool("loadgen", false, "run the deterministic load simulation instead of serving HTTP")
+	ramp := fs.String("ramp", "10x1s,150x1s", "open-loop QPS ramp, QPSxDURATION per phase")
+	mix := fs.String("mix", "", `request mix, "MODEL[=WEIGHT],..." (default: all loaded models, equal weight)`)
+	modelList := fs.String("models", "", "comma-separated loaded models (default: one per endpoint task)")
+	platform := fs.String("platform", "Google Pixel 3", "platform name or chipset (Table II)")
+	dtype := fs.String("dtype", "fp32", "precision: fp32 | int8 (int8 needs every loaded model quantized)")
+	delegate := fs.String("delegate", "nnapi", "delegate: cpu | gpu | hexagon | nnapi")
+	entry := fs.String("entry", "pre", "stage served requests enter at: pre | inference")
+	workers := fs.Int("workers", 2, "model executors (batches in service at once)")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "micro-batch window (0 = dispatch immediately)")
+	maxBatch := fs.Int("max-batch", 4, "flush a batch early at this size")
+	queueDepth := fs.Int("queue-depth", 16, "per-model admission limit; beyond it requests are rejected (HTTP 429)")
+	dispatch := fs.Duration("dispatch-cost", 200*time.Microsecond, "per-batch dispatch overhead, amortized across the batch")
+	seed := fs.Uint64("seed", 42, "random seed (0 is a valid seed)")
+	common := cli.Register(fs, cli.Options{
+		Trace: true, Metrics: true, Faults: true, Parallel: true, Progress: true,
+	})
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg, err := buildConfig(*platform, *dtype, *delegate, *entry, *modelList,
+		*workers, *window, *maxBatch, *queueDepth, *dispatch, *seed, common)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	if *loadMode {
+		return runLoad(cfg, *ramp, *mix, *seed, common, stdout, stderr)
+	}
+	return runServer(cfg, *addr, stderr)
+}
+
+// buildConfig assembles and validates the serving config from flags.
+func buildConfig(platform, dtype, delegate, entry, modelList string,
+	workers int, window time.Duration, maxBatch, queueDepth int,
+	dispatch time.Duration, seed uint64, common *cli.Common) (serve.Config, error) {
+	p, err := aitax.PlatformByName(platform)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	dt, err := cli.ParseDType(dtype)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	d, err := cli.ParseDelegate(delegate)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	st, err := app.ParseStage(entry)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	plan, err := common.FaultPlan()
+	if err != nil {
+		return serve.Config{}, err
+	}
+	var loaded []*models.Model
+	if modelList != "" {
+		for _, name := range strings.Split(modelList, ",") {
+			m, err := models.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return serve.Config{}, err
+			}
+			loaded = append(loaded, m)
+		}
+	}
+	cfg := serve.Config{
+		Platform: p, DType: dt, Delegate: d, Models: loaded, Entry: st,
+		Workers: workers, BatchWindow: window, MaxBatch: maxBatch,
+		QueueDepth: queueDepth, DispatchCost: dispatch,
+		Seed: seed, Faults: plan,
+	}
+	cfg = cfg.Defaults()
+	return cfg, cfg.Validate()
+}
+
+// runLoad runs the virtual-time load simulation and prints its report.
+func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
+	common *cli.Common, stdout, stderr io.Writer) int {
+	phases, err := loadgen.ParseRamp(ramp)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var mix []loadgen.Share
+	if mixSpec == "" {
+		for _, m := range cfg.Models {
+			mix = append(mix, loadgen.Share{Model: m.Name, Weight: 1})
+		}
+	} else {
+		if mix, err = loadgen.ParseMix(mixSpec); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	spec := loadgen.Spec{Seed: seed, Phases: phases, Mix: mix}
+	arrivals, err := spec.Generate()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	var onProgress func(lab.JobResult)
+	if common.Progress {
+		onProgress = func(r lab.JobResult) {
+			status := "done"
+			if r.Err != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(stderr, "%s cost %-28s wall %8.2fms\n",
+				status, r.ID, float64(r.Wall.Microseconds())/1000)
+		}
+	}
+	table, err := serve.BuildCostTable(context.Background(), cfg, common.Parallel, onProgress)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	res, err := serve.Simulate(cfg, table, arrivals, common.Trace != "")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	names := make([]string, len(cfg.Models))
+	for i, m := range cfg.Models {
+		names[i] = m.Name
+	}
+	fmt.Fprintf(stdout, "platform: %s (%s) | delegate %s | dtype %s | seed %d\n",
+		cfg.Platform.Name, cfg.Platform.Chipset, cfg.Delegate, cfg.DType, seed)
+	fmt.Fprintf(stdout, "models: %s\n", strings.Join(names, ", "))
+	fmt.Fprint(stdout, res.Report(cfg, ramp))
+
+	if common.Metrics != "" {
+		if err := cli.WriteFile(common.Metrics, res.Metrics.WritePrometheus); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "metrics written to %s\n", common.Metrics)
+	}
+	if common.Trace != "" {
+		chrome := trace.NewChromeRecorder()
+		chrome.AddTelemetry(res.Spans, res.Flows)
+		for _, s := range res.Depth {
+			chrome.AddCounter("queue depth "+s.Model, s.At, float64(s.Depth))
+		}
+		if err := cli.WriteFile(common.Trace, chrome.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "chrome trace written to %s\n", common.Trace)
+	}
+	return 0
+}
+
+// runServer starts the wall-clock HTTP frontend.
+func runServer(cfg serve.Config, addr string, stderr io.Writer) int {
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer s.Close()
+	fmt.Fprintf(stderr, "aitax-serve listening on %s (%s, %s, %s)\n",
+		addr, cfg.Platform.Name, cfg.Delegate, cfg.DType)
+	if err := http.ListenAndServe(addr, s.Handler()); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGoldenLoadReportAtAnyParallelism(t *testing.T) {
+	var outputs []string
+	for _, par := range []string{"1", "2", "8"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-loadgen", "-parallel", par}, &out, &errb); code != 0 {
+			t.Fatalf("-parallel %s: exit %d, stderr:\n%s", par, code, errb.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatal("load report differs across -parallel 1/2/8")
+	}
+	want, err := os.ReadFile("testdata/load_report.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0] != string(want) {
+		t.Fatalf("load report diverged from golden\n--- got ---\n%s\n--- want ---\n%s",
+			outputs[0], string(want))
+	}
+	// The serving tax the report claims must actually be there: the
+	// overload phase rejects, and queueing shows up in the tax columns.
+	if !strings.Contains(outputs[0], "rejected") || strings.Contains(outputs[0], " 0 of 172 rejected") {
+		t.Fatal("golden run shows no admission rejections under the overload phase")
+	}
+}
+
+func TestExportsDoNotPerturbReport(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	prom := filepath.Join(dir, "metrics.prom")
+	base := []string{"-loadgen", "-ramp", "40x250ms", "-seed", "9"}
+
+	var plain bytes.Buffer
+	if code := run(base, &plain, &bytes.Buffer{}); code != 0 {
+		t.Fatal("plain run failed")
+	}
+	var traced bytes.Buffer
+	args := append(append([]string{}, base...), "-trace", chrome, "-metrics", prom)
+	if code := run(args, &traced, &bytes.Buffer{}); code != 0 {
+		t.Fatal("traced run failed")
+	}
+	if plain.String() != traced.String() {
+		t.Fatalf("-trace/-metrics perturbed the report\n--- plain ---\n%s\n--- traced ---\n%s",
+			plain.String(), traced.String())
+	}
+
+	got, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var depthCounters int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" && strings.HasPrefix(e.Name, "queue depth ") {
+			depthCounters++
+		}
+	}
+	if depthCounters == 0 {
+		t.Fatal("no queue-depth counter events in the trace")
+	}
+
+	promText, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aitax_serve_requests_total", "aitax_serve_latency_ms"} {
+		if !strings.Contains(string(promText), want) {
+			t.Fatalf("metrics file missing %s", want)
+		}
+	}
+}
+
+func TestBadFlagsFailCleanly(t *testing.T) {
+	cases := [][]string{
+		{"-loadgen", "-ramp", "fast"},
+		{"-loadgen", "-mix", "No Such Model=x"},
+		{"-loadgen", "-mix", "No Such Model"},
+		{"-models", "No Such Model"},
+		{"-entry", "ui"},
+		{"-platform", "No Such Phone"},
+		{"-loadgen", "-dtype", "int8"}, // Deeplab has no quantized variant
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("run(%v) succeeded, want failure", args)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("run(%v) failed silently", args)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package aitax_test
+
+import (
+	"errors"
+	"testing"
+
+	"aitax"
+)
+
+// The lookup helpers wrap typed sentinels so callers (the serving
+// frontend's 404 mapping, scripts) can branch with errors.Is instead of
+// string matching — while the rendered messages stay exactly what they
+// were before the sentinels existed.
+func TestLookupSentinelErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+		message  string
+	}{
+		{
+			name:     "model",
+			err:      mustErr(aitax.ModelByName("No Such Model")),
+			sentinel: aitax.ErrUnknownModel,
+			message:  `models: unknown model "No Such Model"`,
+		},
+		{
+			name:     "platform",
+			err:      mustErr(aitax.PlatformByName("No Such Phone")),
+			sentinel: aitax.ErrUnknownPlatform,
+			message:  `soc: unknown platform "No Such Phone"`,
+		},
+		{
+			name:     "experiment",
+			err:      mustErrExp(aitax.ExperimentByID("no-such-exp")),
+			sentinel: aitax.ErrUnknownExperiment,
+		},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Fatalf("%s: lookup succeeded, want error", c.name)
+		}
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%s: errors.Is(%v, sentinel) = false", c.name, c.err)
+		}
+		if c.message != "" && c.err.Error() != c.message {
+			t.Errorf("%s: message %q, want %q (sentinel wrapping must not change the text)",
+				c.name, c.err.Error(), c.message)
+		}
+	}
+	// Sentinels are distinct: a model miss is not a platform miss.
+	if errors.Is(mustErr(aitax.ModelByName("x")), aitax.ErrUnknownPlatform) {
+		t.Error("model error satisfies the platform sentinel")
+	}
+	// Successful lookups carry no sentinel.
+	if _, err := aitax.ModelByName("MobileNet 1.0 v1"); err != nil {
+		t.Errorf("known model lookup failed: %v", err)
+	}
+}
+
+func mustErr[T any](_ T, err error) error { return err }
+
+func mustErrExp(_ aitax.Experiment, err error) error { return err }

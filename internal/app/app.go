@@ -11,7 +11,6 @@ package app
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"aitax/internal/capture"
@@ -21,7 +20,6 @@ import (
 	"aitax/internal/postproc"
 	"aitax/internal/preproc"
 	"aitax/internal/sched"
-	"aitax/internal/sim"
 	"aitax/internal/telemetry"
 	"aitax/internal/tensor"
 	"aitax/internal/tflite"
@@ -257,100 +255,11 @@ func (a *App) StopStream() { a.streaming = false }
 // the stage breakdown. With the runtime's Tracer set, the cycle yields a
 // span tree — a "frame" root whose capture/pre/inference/post/ui
 // children tile it exactly at the FrameStats boundaries, with the
-// framework and driver layers nesting beneath "inference".
+// framework and driver layers nesting beneath "inference". The cycle is
+// the full traversal of the stage graph in stages.go; served requests
+// traverse a subgraph via ProcessRange instead.
 func (a *App) ProcessFrame(done func(FrameStats)) {
-	var st FrameStats
-	start := a.rt.Eng.Now()
-	a.frames++
-	frameNo := a.frames
-	tr := a.rt.Tracer
-	frame := tr.Start("frame", "app", telemetry.TrackCPU, nil)
-	frame.SetAttr("frame", strconv.Itoa(frameNo))
-
-	if a.ip.Model.Pre.Tokenize {
-		a.processText(&st, start, frameNo, frame, done)
-		return
-	}
-
-	// 1. Data capture: sensor delivery plus bitmap formatting on the
-	// camera thread. Pose-style apps additionally fuse the IMU's
-	// orientation stream (§II-A) to decide the rotation step.
-	capSpan := tr.Start("capture", "capture", telemetry.TrackCPU, frame)
-	a.cam.Capture(func(f *capture.Frame) {
-		spec := a.ip.Model.PreSpec(a.ip.DType)
-		afterFusion := func() {
-			conv := a.stageDuration(a.cam.ConversionWork(), false)
-			a.camThread.Exec(conv, func() {
-				st.Capture = a.rt.Eng.Now().Sub(start)
-				capSpan.End()
-
-				// 2. Pre-processing: on its own thread, or offloaded
-				// to the DSP through FastRPC (FastCV-style).
-				preW := spec.Work(a.cam.Width, a.cam.Height)
-				preStart := a.rt.Eng.Now()
-				preSpan := tr.Start("pre", "preproc", telemetry.TrackCPU, frame)
-				a.runPre(preW, spec.Native, preSpan, func() {
-					if a.cfg.RealPreprocess {
-						a.runRealPreprocess(f, spec)
-					}
-					st.Pre = a.rt.Eng.Now().Sub(preStart)
-					preSpan.End()
-
-					// 3. Inference through the delegate.
-					invStart := a.rt.Eng.Now()
-					infSpan := tr.Start("inference", "app", telemetry.TrackCPU, frame)
-					a.ip.InvokeTraced(infSpan, func(rep tflite.Report) {
-						st.Inference = a.rt.Eng.Now().Sub(invStart)
-						st.Retry = rep.Retry
-						st.Fallback = rep.FallbackCost
-						infSpan.End()
-
-						// 4. Post-processing.
-						postStart := a.rt.Eng.Now()
-						postSpan := tr.Start("post", "postproc", telemetry.TrackCPU, frame)
-						postW := a.ip.Model.PostWork(a.ip.DType)
-						a.postThread.Exec(a.stageDuration(postW, true), func() {
-							if a.cfg.RealPostprocess {
-								a.runRealPostprocess()
-							}
-							st.Post = a.rt.Eng.Now().Sub(postStart)
-							postSpan.End()
-
-							// 5. UI render (+ occasional GC pause).
-							uiStart := a.rt.Eng.Now()
-							uiSpan := tr.Start("ui", "app", telemetry.TrackCPU, frame)
-							ui := a.rt.RNG.Jitter(a.UIBase, a.UIJitterCV)
-							if a.GCPeriod > 0 && frameNo%a.GCPeriod == 0 {
-								ui += a.GCPause
-								uiSpan.SetAttr("gc", "1")
-								a.rt.Metrics.Inc("aitax_gc_pauses_total")
-							}
-							a.uiThread.Exec(ui, func() {
-								st.UI = a.rt.Eng.Now().Sub(uiStart)
-								uiSpan.End()
-								st.Total = a.rt.Eng.Now().Sub(start)
-								frame.End()
-								a.recordFrame(st)
-								if done != nil {
-									done(st)
-								}
-							})
-						})
-					})
-				})
-			})
-		}
-		if spec.RotateTurns != 0 {
-			// Sensor fusion: the frame's rotation follows the IMU's
-			// current orientation, read per frame.
-			a.imu.ReadOrientation(func(turns int) {
-				spec.RotateTurns = turns
-				afterFusion()
-			})
-		} else {
-			afterFusion()
-		}
-	})
+	a.ProcessRange(StageCapture, StageUI, done)
 }
 
 // stageSeries are the per-stage latency series names, built once: the
@@ -386,65 +295,6 @@ func (a *App) recordFrame(st FrameStats) {
 	if st.Fallback > 0 {
 		m.Observe("aitax_frame_fallback_ms", float64(st.Fallback)/float64(time.Millisecond))
 	}
-}
-
-// processText is the language-app variant of a frame: fetching the
-// input text (IME/clipboard, negligible) replaces camera capture, and
-// tokenization is the pre-processing stage.
-func (a *App) processText(st *FrameStats, start sim.Time, frameNo int, frame *telemetry.ActiveSpan, done func(FrameStats)) {
-	tr := a.rt.Tracer
-	// "Capture": obtaining the text input.
-	capSpan := tr.Start("capture", "capture", telemetry.TrackCPU, frame)
-	a.preThread.Exec(a.rt.RNG.Jitter(200*time.Microsecond, 0.2), func() {
-		st.Capture = a.rt.Eng.Now().Sub(start)
-		capSpan.End()
-
-		spec := a.ip.Model.PreSpec(a.ip.DType)
-		preStart := a.rt.Eng.Now()
-		preSpan := tr.Start("pre", "preproc", telemetry.TrackCPU, frame)
-		a.preThread.Exec(a.stageDuration(spec.Work(0, 0), false), func() {
-			st.Pre = a.rt.Eng.Now().Sub(preStart)
-			preSpan.End()
-
-			invStart := a.rt.Eng.Now()
-			infSpan := tr.Start("inference", "app", telemetry.TrackCPU, frame)
-			a.ip.InvokeTraced(infSpan, func(rep tflite.Report) {
-				st.Inference = a.rt.Eng.Now().Sub(invStart)
-				st.Retry = rep.Retry
-				st.Fallback = rep.FallbackCost
-				infSpan.End()
-
-				postStart := a.rt.Eng.Now()
-				postSpan := tr.Start("post", "postproc", telemetry.TrackCPU, frame)
-				a.postThread.Exec(a.stageDuration(a.ip.Model.PostWork(a.ip.DType), true), func() {
-					if a.cfg.RealPostprocess {
-						a.runRealPostprocess()
-					}
-					st.Post = a.rt.Eng.Now().Sub(postStart)
-					postSpan.End()
-
-					uiStart := a.rt.Eng.Now()
-					uiSpan := tr.Start("ui", "app", telemetry.TrackCPU, frame)
-					ui := a.rt.RNG.Jitter(a.UIBase, a.UIJitterCV)
-					if a.GCPeriod > 0 && frameNo%a.GCPeriod == 0 {
-						ui += a.GCPause
-						uiSpan.SetAttr("gc", "1")
-						a.rt.Metrics.Inc("aitax_gc_pauses_total")
-					}
-					a.uiThread.Exec(ui, func() {
-						st.UI = a.rt.Eng.Now().Sub(uiStart)
-						uiSpan.End()
-						st.Total = a.rt.Eng.Now().Sub(start)
-						frame.End()
-						a.recordFrame(*st)
-						if done != nil {
-							done(*st)
-						}
-					})
-				})
-			})
-		})
-	})
 }
 
 // runPre executes the pre-processing stage on the configured engine:

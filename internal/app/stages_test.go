@@ -1,0 +1,101 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
+)
+
+func TestParseStage(t *testing.T) {
+	for s := StageCapture; s <= StageUI; s++ {
+		got, err := ParseStage(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseStage(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStage("render"); err == nil {
+		t.Fatal("ParseStage accepted an unknown stage")
+	}
+}
+
+// A served request enters at pre and exits after post: the stages it
+// never ran stay zero, so Tax() is exact for the traversed segment.
+func TestProcessRangeMidGraphEntry(t *testing.T) {
+	rt, a := newApp(t, "MobileNet 1.0 v1", tensor.UInt8, tflite.DelegateNNAPI, false)
+	var st FrameStats
+	a.Init(func() {
+		a.ProcessRange(StagePre, StagePost, func(s FrameStats) { st = s })
+	})
+	rt.Eng.Run()
+	if st.Capture != 0 || st.UI != 0 {
+		t.Fatalf("skipped stages nonzero: capture %v, ui %v", st.Capture, st.UI)
+	}
+	if st.Pre <= 0 || st.Inference <= 0 || st.Post <= 0 {
+		t.Fatalf("traversed stages missing: %+v", st)
+	}
+	if st.Total < st.Pre+st.Inference+st.Post {
+		t.Fatalf("total %v below stage sum", st.Total)
+	}
+	if st.Tax() != st.Total-st.Inference {
+		t.Fatal("tax accounting broken for a partial traversal")
+	}
+}
+
+// A full-range ProcessRange is exactly ProcessFrame.
+func TestProcessRangeFullMatchesProcessFrame(t *testing.T) {
+	rtA, a := newApp(t, "MobileNet 1.0 v1", tensor.UInt8, tflite.DelegateNNAPI, false)
+	var viaRange FrameStats
+	a.Init(func() {
+		a.ProcessRange(StageCapture, StageUI, func(s FrameStats) { viaRange = s })
+	})
+	rtA.Eng.Run()
+
+	rtB, b := newApp(t, "MobileNet 1.0 v1", tensor.UInt8, tflite.DelegateNNAPI, false)
+	var viaFrame FrameStats
+	b.Init(func() {
+		b.ProcessFrame(func(s FrameStats) { viaFrame = s })
+	})
+	rtB.Eng.Run()
+
+	if viaRange != viaFrame {
+		t.Fatalf("ProcessRange(capture, ui) %+v != ProcessFrame %+v", viaRange, viaFrame)
+	}
+}
+
+func TestProcessRangeInvalidRangePanics(t *testing.T) {
+	_, a := newApp(t, "MobileNet 1.0 v1", tensor.UInt8, tflite.DelegateNNAPI, false)
+	for _, r := range [][2]Stage{{StagePost, StagePre}, {StageCapture, StageUI + 1}, {-1, StageUI}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ProcessRange(%v, %v) did not panic", r[0], r[1])
+				}
+			}()
+			a.ProcessRange(r[0], r[1], nil)
+		}()
+	}
+}
+
+// Mid-graph entries are cheaper than full frames: the serving path
+// skips the capture wait and UI render entirely.
+func TestProcessRangeSkipsStageCosts(t *testing.T) {
+	rtA, a := newApp(t, "MobileNet 1.0 v1", tensor.UInt8, tflite.DelegateNNAPI, false)
+	var partial FrameStats
+	a.Init(func() {
+		a.ProcessRange(StagePre, StagePost, func(s FrameStats) { partial = s })
+	})
+	rtA.Eng.Run()
+
+	rtB, b := newApp(t, "MobileNet 1.0 v1", tensor.UInt8, tflite.DelegateNNAPI, false)
+	var full FrameStats
+	b.Init(func() {
+		b.ProcessFrame(func(s FrameStats) { full = s })
+	})
+	rtB.Eng.Run()
+
+	if partial.Total+time.Microsecond >= full.Total {
+		t.Fatalf("partial traversal %v not cheaper than full frame %v", partial.Total, full.Total)
+	}
+}

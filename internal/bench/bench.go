@@ -6,6 +6,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -191,6 +192,11 @@ func Experiments() []Experiment {
 	}
 }
 
+// ErrUnknownExperiment is the sentinel ByID wraps when no experiment
+// matches; callers branch with errors.Is instead of matching message
+// text.
+var ErrUnknownExperiment = errors.New("bench: unknown experiment")
+
 // ByID finds an experiment.
 func ByID(id string) (Experiment, error) {
 	for _, e := range Experiments() {
@@ -198,7 +204,7 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	return Experiment{}, fmt.Errorf("%w %q (have %s)", ErrUnknownExperiment, id, strings.Join(IDs(), ", "))
 }
 
 // IDs lists experiment ids in order.

@@ -1,0 +1,125 @@
+// Package cli holds the flag plumbing the aitax command-line tools
+// share, so every binary registers, parses and validates the common
+// flags identically: the observability exports (-trace, -metrics), the
+// deterministic fault plan (-faults), the lab worker pool (-parallel,
+// -progress), and the dtype/delegate vocabulary.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"aitax/internal/faults"
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
+)
+
+// Common carries the values of the shared flags after parsing. Fields
+// whose flags a command did not register keep their zero value
+// (Parallel defaults to GOMAXPROCS only when registered).
+type Common struct {
+	// Trace is the Chrome trace-event JSON output path ("" = off).
+	Trace string
+	// Metrics is the Prometheus-style metrics output path ("" = off).
+	Metrics string
+	// FaultSpec is the raw -faults plan; FaultPlan parses it.
+	FaultSpec string
+	// Parallel is the lab worker-pool size.
+	Parallel int
+	// Progress enables per-job completion reports on stderr.
+	Progress bool
+}
+
+// Options selects which shared flags a command registers.
+type Options struct {
+	Trace    bool
+	Metrics  bool
+	Faults   bool
+	Parallel bool
+	Progress bool
+	// TraceAlias registers an extra legacy spelling for -trace writing
+	// the same value (aitax-profile's original -chrome flag).
+	TraceAlias string
+}
+
+// Register adds the selected shared flags to fs with their canonical
+// names, descriptions and defaults, and returns the struct their parsed
+// values land in.
+func Register(fs *flag.FlagSet, o Options) *Common {
+	c := &Common{}
+	if o.Trace {
+		fs.StringVar(&c.Trace, "trace",
+			"", "write a Chrome trace-event JSON of the run to this path")
+		if o.TraceAlias != "" {
+			fs.StringVar(&c.Trace, o.TraceAlias,
+				"", "legacy alias for -trace")
+		}
+	}
+	if o.Metrics {
+		fs.StringVar(&c.Metrics, "metrics",
+			"", "write Prometheus-style metrics of the run to this path")
+	}
+	if o.Faults {
+		fs.StringVar(&c.FaultSpec, "faults",
+			"", `deterministic fault plan, e.g. "rpc=0.1,timeout=0.05,init=1,seed=7" (see docs/FAULTS.md)`)
+	}
+	if o.Parallel {
+		fs.IntVar(&c.Parallel, "parallel", runtime.GOMAXPROCS(0),
+			"worker-pool size; output is byte-identical at any value")
+	}
+	if o.Progress {
+		fs.BoolVar(&c.Progress, "progress",
+			false, "report per-job completion on stderr")
+	}
+	return c
+}
+
+// FaultPlan parses the -faults spec. The empty string is the zero plan.
+func (c *Common) FaultPlan() (faults.Plan, error) { return faults.ParsePlan(c.FaultSpec) }
+
+// ParseDType resolves the -dtype vocabulary shared by every command.
+func ParseDType(s string) (tensor.DType, error) {
+	switch s {
+	case "fp32", "float32":
+		return tensor.Float32, nil
+	case "int8", "uint8", "quant":
+		return tensor.UInt8, nil
+	default:
+		return tensor.Float32, fmt.Errorf("unknown dtype %q (fp32|int8)", s)
+	}
+}
+
+// ParseDelegate resolves the -delegate vocabulary shared by every
+// command.
+func ParseDelegate(s string) (tflite.Delegate, error) {
+	switch s {
+	case "cpu":
+		return tflite.DelegateCPU, nil
+	case "gpu":
+		return tflite.DelegateGPU, nil
+	case "hexagon", "dsp":
+		return tflite.DelegateHexagon, nil
+	case "nnapi":
+		return tflite.DelegateNNAPI, nil
+	default:
+		return tflite.DelegateCPU, fmt.Errorf("unknown delegate %q (cpu|gpu|hexagon|nnapi)", s)
+	}
+}
+
+// WriteFile creates path and streams write into it, closing the file
+// and propagating the first error — the export idiom every command
+// uses for -trace/-metrics outputs.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,189 @@
+// Package loadgen generates deterministic open-loop request traffic for
+// the serving frontend. An open-loop generator draws arrival times from
+// the workload specification alone — arrivals never wait for the server,
+// so queueing delay shows up as latency instead of silently throttling
+// the offered rate (the coordinated-omission trap closed-loop generators
+// fall into).
+//
+// Arrivals are a piecewise-constant-rate Poisson process: each ramp
+// phase holds a constant QPS, and interarrival gaps are exponential
+// draws from one seeded RNG. Because the exponential is memoryless,
+// restarting the draw at each phase boundary with the new rate simulates
+// the non-homogeneous process exactly. The whole schedule is a pure
+// function of the Spec, so a fixed seed regenerates byte-identical
+// traffic on any machine at any worker count.
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"aitax/internal/sim"
+)
+
+// Phase is one constant-rate segment of the QPS ramp.
+type Phase struct {
+	// QPS is the offered arrival rate in requests per second.
+	QPS float64
+	// Duration is how long the phase holds that rate.
+	Duration time.Duration
+}
+
+// Share weights one model in the request mix. Requests pick their model
+// independently per arrival, proportional to Weight.
+type Share struct {
+	Model  string
+	Weight int
+}
+
+// Arrival is one generated request: when it reaches the server (virtual
+// time from load start) and which model it asks for.
+type Arrival struct {
+	// ID numbers arrivals in time order, from 0.
+	ID int
+	// At is the arrival offset from the start of the load.
+	At time.Duration
+	// Model is the requested model's Table-I name.
+	Model string
+}
+
+// Spec describes an open-loop load: the seed, the QPS ramp and the
+// model mix. Generate turns it into a concrete arrival schedule.
+type Spec struct {
+	Seed   uint64
+	Phases []Phase
+	Mix    []Share
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("loadgen: spec needs at least one ramp phase")
+	}
+	for i, p := range s.Phases {
+		if p.QPS <= 0 {
+			return fmt.Errorf("loadgen: phase %d: qps must be positive, got %g", i, p.QPS)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("loadgen: phase %d: duration must be positive, got %v", i, p.Duration)
+		}
+	}
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("loadgen: spec needs at least one model in the mix")
+	}
+	for i, m := range s.Mix {
+		if m.Model == "" {
+			return fmt.Errorf("loadgen: mix entry %d has no model name", i)
+		}
+		if m.Weight <= 0 {
+			return fmt.Errorf("loadgen: mix entry %d (%s): weight must be positive, got %d", i, m.Model, m.Weight)
+		}
+	}
+	return nil
+}
+
+// Duration returns the total length of the ramp.
+func (s Spec) Duration() time.Duration {
+	var d time.Duration
+	for _, p := range s.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// Generate produces the arrival schedule: strictly ordered in time, IDs
+// dense from 0. Each arrival draws its gap, then its model, from the
+// same RNG, so the whole schedule is one deterministic sequence.
+func (s Spec) Generate() ([]Arrival, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, m := range s.Mix {
+		total += m.Weight
+	}
+	rng := sim.NewRNG(s.Seed)
+	var out []Arrival
+	var phaseStart time.Duration
+	for _, p := range s.Phases {
+		end := phaseStart + p.Duration
+		mean := float64(time.Second) / p.QPS // mean gap in ns
+		// Memorylessness: a fresh draw at the phase boundary is exactly
+		// the residual wait under the new rate.
+		t := phaseStart + time.Duration(rng.Exp(mean))
+		for t < end {
+			pick := rng.Intn(total)
+			model := ""
+			for _, m := range s.Mix {
+				if pick < m.Weight {
+					model = m.Model
+					break
+				}
+				pick -= m.Weight
+			}
+			out = append(out, Arrival{ID: len(out), At: t, Model: model})
+			t += time.Duration(rng.Exp(mean))
+		}
+		phaseStart = end
+	}
+	return out, nil
+}
+
+// ParseRamp parses a ramp spec of the form "QPSxDURATION[,...]", e.g.
+// "50x2s,200x2s,50x1s": 2 s at 50 QPS, then 2 s at 200, then 1 s back
+// at 50. QPS may be fractional; durations use Go syntax.
+func ParseRamp(s string) ([]Phase, error) {
+	var phases []Phase
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		qpsStr, durStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: ramp phase %q: want QPSxDURATION, e.g. 50x2s", part)
+		}
+		qps, err := strconv.ParseFloat(qpsStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: ramp phase %q: bad qps %q", part, qpsStr)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: ramp phase %q: bad duration %q", part, durStr)
+		}
+		phases = append(phases, Phase{QPS: qps, Duration: dur})
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("loadgen: empty ramp spec")
+	}
+	return phases, nil
+}
+
+// ParseMix parses a model mix of the form "MODEL[=WEIGHT][,...]", e.g.
+// "MobileNet 1.0 v1=2,Deeplab-v3 MobileNet-v2". An omitted weight is 1.
+func ParseMix(s string) ([]Share, error) {
+	var mix []Share
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		weight := 1
+		if hasWeight {
+			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: mix entry %q: bad weight %q", part, weightStr)
+			}
+			weight = w
+		}
+		mix = append(mix, Share{Model: name, Weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix spec")
+	}
+	return mix, nil
+}

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func spec() Spec {
+	return Spec{
+		Seed: 42,
+		Phases: []Phase{
+			{QPS: 100, Duration: time.Second},
+			{QPS: 400, Duration: 500 * time.Millisecond},
+		},
+		Mix: []Share{
+			{Model: "MobileNet 1.0 v1", Weight: 2},
+			{Model: "Deeplab-v3 MobileNet-v2", Weight: 1},
+		},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := spec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations of the same spec differ")
+	}
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+}
+
+func TestGenerateOrderedAndBounded(t *testing.T) {
+	s := spec()
+	arrivals, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := time.Duration(-1)
+	for i, a := range arrivals {
+		if a.ID != i {
+			t.Fatalf("arrival %d has ID %d", i, a.ID)
+		}
+		if a.At <= last {
+			t.Fatalf("arrival %d at %v not after previous %v", i, a.At, last)
+		}
+		last = a.At
+		if a.At >= s.Duration() {
+			t.Fatalf("arrival %d at %v beyond ramp end %v", i, a.At, s.Duration())
+		}
+		if a.Model != "MobileNet 1.0 v1" && a.Model != "Deeplab-v3 MobileNet-v2" {
+			t.Fatalf("arrival %d has model %q outside the mix", i, a.Model)
+		}
+	}
+}
+
+func TestGenerateRateRoughlyHonoured(t *testing.T) {
+	// 100 QPS for 1s + 400 QPS for 0.5s offers 300 expected arrivals;
+	// a Poisson count should land well within ±40%.
+	arrivals, err := spec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(arrivals); n < 180 || n > 420 {
+		t.Fatalf("got %d arrivals, want roughly 300", n)
+	}
+	// The 400-QPS phase should hold more than a third of the traffic
+	// despite being half as long as the 100-QPS phase.
+	second := 0
+	for _, a := range arrivals {
+		if a.At >= time.Second {
+			second++
+		}
+	}
+	if second <= len(arrivals)/3 {
+		t.Fatalf("high-QPS phase got %d of %d arrivals", second, len(arrivals))
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a, _ := spec().Generate()
+	s2 := spec()
+	s2.Seed = 43
+	b, _ := s2.Generate()
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestParseRamp(t *testing.T) {
+	phases, err := ParseRamp("50x2s, 12.5x500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Phase{{QPS: 50, Duration: 2 * time.Second}, {QPS: 12.5, Duration: 500 * time.Millisecond}}
+	if !reflect.DeepEqual(phases, want) {
+		t.Fatalf("got %+v, want %+v", phases, want)
+	}
+	for _, bad := range []string{"", "50", "x2s", "50x", "fastx2s", "50xlong"} {
+		if _, err := ParseRamp(bad); err == nil {
+			t.Errorf("ParseRamp(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("MobileNet 1.0 v1=2, Deeplab-v3 MobileNet-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Share{{Model: "MobileNet 1.0 v1", Weight: 2}, {Model: "Deeplab-v3 MobileNet-v2", Weight: 1}}
+	if !reflect.DeepEqual(mix, want) {
+		t.Fatalf("got %+v, want %+v", mix, want)
+	}
+	for _, bad := range []string{"", "m=x", "m=", ","} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := spec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Phases = nil },
+		func(s *Spec) { s.Phases[0].QPS = 0 },
+		func(s *Spec) { s.Phases[0].Duration = 0 },
+		func(s *Spec) { s.Mix = nil },
+		func(s *Spec) { s.Mix[0].Weight = 0 },
+		func(s *Spec) { s.Mix[0].Model = "" },
+	}
+	for i, mutate := range cases {
+		s := spec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate succeeded, want error", i)
+		}
+	}
+}

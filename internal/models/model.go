@@ -7,6 +7,7 @@
 package models
 
 import (
+	"errors"
 	"fmt"
 
 	"aitax/internal/nn"
@@ -200,6 +201,11 @@ var aliases = map[string]string{
 	"bert":             "Mobile BERT",
 }
 
+// ErrUnknownModel is the sentinel ByName wraps when no model matches;
+// callers map lookup failures with errors.Is (a serving frontend turns
+// it into a 404) instead of matching message text.
+var ErrUnknownModel = errors.New("models: unknown model")
+
 // ByName finds a model in the zoo by its Table-I name. Exact names win;
 // otherwise the lookup falls back to a normalized comparison (case,
 // spacing and punctuation insensitive) and a small alias table, so
@@ -222,7 +228,7 @@ func ByName(name string) (*Model, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("models: unknown model %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownModel, name)
 }
 
 // Names lists the zoo's model names in Table-I order.

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"aitax/internal/app"
+	"aitax/internal/faults"
+	"aitax/internal/lab"
+	"aitax/internal/models"
+	"aitax/internal/sim"
+	"aitax/internal/tflite"
+)
+
+// BatchCost is the measured virtual-time cost of executing one batch of
+// a model: k requests run back-to-back on a warm executor stack.
+type BatchCost struct {
+	// Batch is the batch size k.
+	Batch int
+	// Service is the executor's busy time for the whole batch (virtual),
+	// excluding the per-dispatch overhead (Config.DispatchCost).
+	Service time.Duration
+	// Infer is the summed inference-stage time across the batch — the
+	// useful compute the clients paid for.
+	Infer time.Duration
+	// Tax is the summed per-frame pipeline tax across the batch
+	// (pre/post processing, fault retries, delegate fallback).
+	Tax time.Duration
+}
+
+// batchSeed derives the executor-stack seed for one (model, batch-size)
+// measurement. It depends only on the base seed and the measurement's
+// identity, never on scheduling, so the cost table is a pure function
+// of the config.
+func batchSeed(base uint64, model string, k int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	return base ^ h.Sum64() ^ uint64(k)*0x9E3779B97F4A7C15
+}
+
+// MeasureBatch builds a fresh executor stack for m, warms it (Init
+// loads the model and compiles the plan — shared process-wide through
+// plan.Shared), and runs a batch of k requests through the stage
+// subgraph [cfg.Entry, post]. Each measurement is an independent,
+// fully deterministic simulation.
+func MeasureBatch(ctx context.Context, cfg Config, m *models.Model, k int) (BatchCost, error) {
+	if k < 1 {
+		return BatchCost{}, fmt.Errorf("serve: batch size must be at least 1, got %d", k)
+	}
+	rt := tflite.NewStack(cfg.Platform, batchSeed(cfg.Seed, m.Name, k))
+	inj, err := faults.New(cfg.Faults.Resolved(cfg.Seed))
+	if err != nil {
+		return BatchCost{}, err
+	}
+	rt.Faults = inj
+	a, err := app.New(rt, app.Config{
+		Model: m, DType: cfg.DType, Delegate: cfg.Delegate, Streaming: false,
+	})
+	if err != nil {
+		return BatchCost{}, err
+	}
+	bc := BatchCost{Batch: k}
+	a.Init(func() {
+		start := rt.Eng.Now()
+		var next func(i int)
+		next = func(i int) {
+			if i == k {
+				bc.Service = rt.Eng.Now().Sub(start)
+				return
+			}
+			a.ProcessRange(cfg.Entry, app.StagePost, func(st app.FrameStats) {
+				bc.Infer += st.Inference
+				bc.Tax += st.Tax()
+				next(i + 1)
+			})
+		}
+		next(0)
+	})
+	if err := drain(ctx, rt.Eng); err != nil {
+		return BatchCost{}, err
+	}
+	return bc, nil
+}
+
+// drain runs the simulation engine to completion, checking ctx between
+// event batches and reporting the final virtual time to the enclosing
+// lab job (if any).
+func drain(ctx context.Context, eng *sim.Engine) error {
+	const batch = 4096
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		for i := 0; i < batch; i++ {
+			if !eng.Step() {
+				lab.ReportSim(ctx, eng.Now().Duration())
+				return nil
+			}
+		}
+	}
+}
+
+// CostTable holds the measured batch costs for every (loaded model,
+// batch size 1..MaxBatch) pair. The virtual-time simulator prices
+// batches from it, so queueing decisions and service times decouple:
+// the table is built once, in parallel, and the queueing simulation
+// replays it sequentially.
+type CostTable struct {
+	maxBatch int
+	entries  map[string][]BatchCost
+}
+
+// Cost returns the measured cost for a k-request batch of model.
+func (t *CostTable) Cost(model string, k int) BatchCost {
+	row, ok := t.entries[model]
+	if !ok || k < 1 || k > len(row) {
+		panic(fmt.Sprintf("serve: no cost entry for %q batch %d", model, k))
+	}
+	return row[k-1]
+}
+
+// BuildCostTable measures every (model, batch size) pair on the lab
+// worker pool. Each entry is an independent deterministic simulation,
+// so the table is byte-identical at any parallelism; onProgress (when
+// non-nil) observes per-entry completion.
+func BuildCostTable(ctx context.Context, cfg Config, parallel int, onProgress func(lab.JobResult)) (*CostTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type key struct {
+		model string
+		k     int
+	}
+	var jobs []lab.Job
+	var keys []key
+	for _, m := range cfg.Models {
+		m := m
+		for k := 1; k <= cfg.MaxBatch; k++ {
+			k := k
+			keys = append(keys, key{m.Name, k})
+			jobs = append(jobs, lab.Job{
+				ID: fmt.Sprintf("%s/b%d", m.Name, k),
+				Run: func(ctx context.Context) (any, error) {
+					return MeasureBatch(ctx, cfg, m, k)
+				},
+			})
+		}
+	}
+	l := &lab.Lab{Parallelism: parallel, OnProgress: onProgress}
+	results := l.Run(ctx, jobs)
+	t := &CostTable{maxBatch: cfg.MaxBatch, entries: make(map[string][]BatchCost)}
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("serve: measuring %s: %w", r.ID, r.Err)
+		}
+		k := keys[i]
+		row := t.entries[k.model]
+		if row == nil {
+			row = make([]BatchCost, cfg.MaxBatch)
+			t.entries[k.model] = row
+		}
+		row[k.k-1] = r.Value.(BatchCost)
+	}
+	return t, nil
+}

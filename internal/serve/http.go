@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"aitax/internal/lab"
+	"aitax/internal/models"
+	"aitax/internal/telemetry"
+)
+
+// endpointTask maps each inference endpoint to the task it serves.
+var endpointTask = []struct {
+	path string
+	task models.Task
+}{
+	{"/v1/classify", models.Classification},
+	{"/v1/detect", models.ObjectDetection},
+	{"/v1/segment", models.Segmentation},
+}
+
+// Server is the wall-clock HTTP frontend: the same admission /
+// micro-batching policy as the virtual-time simulator, but driven by
+// real requests on real time. Batches execute as lab jobs on simulated
+// executor stacks (compiled plans shared process-wide via plan.Shared),
+// bounded by Config.Workers.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *telemetry.Registry
+	lab     *lab.Lab
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	queues map[string]*httpQueue
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type httpQueue struct {
+	model   *models.Model
+	pending []*httpReq
+	timer   *time.Timer
+	// queued counts admitted requests not yet in service.
+	queued int
+}
+
+type httpReq struct {
+	enq time.Time
+	ch  chan httpDone
+}
+
+type httpDone struct {
+	batch int
+	wait  time.Duration
+	cost  BatchCost
+	err   error
+}
+
+// NewServer validates the config and builds the frontend. The cost of
+// each batch is measured live when the batch executes, so no warmup
+// pass is needed; the first batch per (model, size) pays the plan
+// compilation that later ones reuse from the shared cache.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		metrics: telemetry.NewRegistry(),
+		lab:     &lab.Lab{Parallelism: 1},
+		sem:     make(chan struct{}, cfg.Workers),
+		queues:  make(map[string]*httpQueue, len(cfg.Models)),
+	}
+	for _, m := range cfg.Models {
+		s.queues[m.Name] = &httpQueue{model: m}
+	}
+	for _, ep := range endpointTask {
+		ep := ep
+		s.mux.HandleFunc(ep.path, func(w http.ResponseWriter, r *http.Request) {
+			s.handleInfer(w, r, ep.task)
+		})
+	}
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.WritePrometheus(w)
+	})
+	return s, nil
+}
+
+// Handler returns the frontend's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's registry (also served at /metrics).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// Close stops admitting requests and waits for in-flight batches.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for _, q := range s.queues {
+		if q.timer != nil {
+			q.timer.Stop()
+			q.timer = nil
+		}
+		s.flushLocked(q)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// inferRequest is the request body of the inference endpoints.
+type inferRequest struct {
+	// Model is the Table-I model name; empty picks the endpoint's
+	// default (the first loaded model of the endpoint's task).
+	Model string `json:"model"`
+}
+
+// inferResponse reports the request's fate and its AI-tax accounting.
+// Queue time is wall clock (real batching delay on this host); the
+// service, inference and compute-tax times are virtual (simulated
+// execution on the configured SoC).
+type inferResponse struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch_size"`
+	// QueueMS is wall-clock admission-to-service time.
+	QueueMS float64 `json:"queue_ms"`
+	// ServiceMS is the whole batch's virtual execution time.
+	ServiceMS float64 `json:"service_ms"`
+	// InferMS is this request's share of the batch's inference time.
+	InferMS float64 `json:"infer_ms"`
+	// TaxMS is queue wait plus this request's share of the batch's
+	// pipeline tax and dispatch overhead.
+	TaxMS float64 `json:"tax_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// resolveModel picks the request's model: an explicit name must exist
+// in the catalog (404 otherwise, via models.ErrUnknownModel), be loaded
+// (404), and match the endpoint's task (400); an empty name falls back
+// to the endpoint's default loaded model.
+func (s *Server) resolveModel(name string, task models.Task) (*models.Model, int, error) {
+	if name == "" {
+		for _, m := range s.cfg.Models {
+			if m.Task == task {
+				return m, 0, nil
+			}
+		}
+		return nil, http.StatusNotFound, fmt.Errorf("no %s model loaded", task)
+	}
+	m, err := models.ByName(name)
+	if err != nil {
+		if errors.Is(err, models.ErrUnknownModel) {
+			return nil, http.StatusNotFound, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	if _, ok := s.cfg.modelByName(m.Name); !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("model %q is not loaded (see /v1/models)", m.Name)
+	}
+	if m.Task != task {
+		return nil, http.StatusBadRequest, fmt.Errorf("model %q is a %s model, not %s", m.Name, m.Task, task)
+	}
+	return m, 0, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models.Task) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req inferRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+	}
+	m, status, err := s.resolveModel(req.Model, task)
+	if err != nil {
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.metrics.Inc(telemetry.Labeled("aitax_serve_requests_total", "model", m.Name))
+
+	hr := &httpReq{enq: time.Now(), ch: make(chan httpDone, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	}
+	q := s.queues[m.Name]
+	if q.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.metrics.Inc(telemetry.Labeled("aitax_serve_rejected_total", "model", m.Name))
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: fmt.Sprintf("queue for %q is full (depth %d); retry later", m.Name, s.cfg.QueueDepth),
+		})
+		return
+	}
+	q.queued++
+	q.pending = append(q.pending, hr)
+	switch {
+	case len(q.pending) >= s.cfg.MaxBatch:
+		if q.timer != nil {
+			q.timer.Stop()
+			q.timer = nil
+		}
+		s.flushLocked(q)
+	case s.cfg.BatchWindow == 0:
+		s.flushLocked(q)
+	case len(q.pending) == 1:
+		q.timer = time.AfterFunc(s.cfg.BatchWindow, func() {
+			s.mu.Lock()
+			q.timer = nil
+			s.flushLocked(q)
+			s.mu.Unlock()
+		})
+	}
+	s.mu.Unlock()
+
+	select {
+	case done := <-hr.ch:
+		if done.err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: done.err.Error()})
+			return
+		}
+		k := time.Duration(done.batch)
+		writeJSON(w, http.StatusOK, inferResponse{
+			Model:     m.Name,
+			Batch:     done.batch,
+			QueueMS:   ms(done.wait),
+			ServiceMS: ms(s.cfg.DispatchCost + done.cost.Service),
+			InferMS:   ms(done.cost.Infer / k),
+			TaxMS:     ms(done.wait + (done.cost.Tax+s.cfg.DispatchCost)/k),
+		})
+	case <-r.Context().Done():
+		// Client gone; the buffered channel lets the batch finish
+		// without leaking the executor goroutine.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client cancelled"})
+	}
+}
+
+// flushLocked closes q's open batch and schedules its execution. The
+// caller holds s.mu.
+func (s *Server) flushLocked(q *httpQueue) {
+	if len(q.pending) == 0 {
+		return
+	}
+	batch := q.pending
+	q.pending = nil
+	s.metrics.Inc(telemetry.Labeled("aitax_serve_batches_total", "model", q.model.Name))
+	s.metrics.Observe(telemetry.Labeled("aitax_serve_batch_size", "model", q.model.Name), float64(len(batch)))
+	s.wg.Add(1)
+	go s.execute(q, batch)
+}
+
+// execute runs one batch on an executor slot: a lab job measuring the
+// batch on a fresh simulated stack (plans cached process-wide).
+func (s *Server) execute(q *httpQueue, batch []*httpReq) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	s.mu.Lock()
+	q.queued -= len(batch)
+	s.mu.Unlock()
+
+	k := len(batch)
+	results := s.lab.Run(context.Background(), []lab.Job{{
+		ID: fmt.Sprintf("%s/b%d", q.model.Name, k),
+		Run: func(ctx context.Context) (any, error) {
+			return MeasureBatch(ctx, s.cfg, q.model, k)
+		},
+	}})
+	res := results[0]
+	var cost BatchCost
+	if res.Err == nil {
+		cost = res.Value.(BatchCost)
+		s.metrics.Observe(telemetry.Labeled("aitax_serve_service_ms", "model", q.model.Name),
+			ms(s.cfg.DispatchCost+cost.Service))
+	}
+	for _, hr := range batch {
+		hr.ch <- httpDone{batch: k, wait: start.Sub(hr.enq), cost: cost, err: res.Err}
+	}
+}
+
+// handleModels lists the loaded models and their endpoints.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Model    string `json:"model"`
+		Task     string `json:"task"`
+		Endpoint string `json:"endpoint"`
+	}
+	out := make([]entry, 0, len(s.cfg.Models))
+	for _, m := range s.cfg.Models {
+		e := entry{Model: m.Name, Task: string(m.Task)}
+		for _, ep := range endpointTask {
+			if ep.task == m.Task {
+				e.Endpoint = ep.path
+			}
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"aitax/internal/loadgen"
+	"aitax/internal/sim"
+	"aitax/internal/telemetry"
+)
+
+// Outcome is one request's fate in the virtual-time simulation. All
+// times are on the simulation clock; a rejected request has only
+// Arrival set and everything else zero.
+type Outcome struct {
+	ID    int
+	Model string
+	// Arrival, Flushed, Started, Finished are the request's queueing
+	// milestones: admission, batch flush (window close or max-batch),
+	// executor pickup, completion.
+	Arrival  sim.Time
+	Flushed  sim.Time
+	Started  sim.Time
+	Finished sim.Time
+	// Rejected marks an arrival turned away by admission control.
+	Rejected bool
+	// BatchSize is the size of the batch that served the request.
+	BatchSize int
+	// Infer is the request's share of the batch's inference time — the
+	// useful compute. Everything else in Latency is serving tax.
+	Infer time.Duration
+	// ComputeTax is the request's share of the batch's pipeline tax
+	// plus its share of the per-dispatch overhead.
+	ComputeTax time.Duration
+}
+
+// Latency is the end-to-end time the client observed.
+func (o Outcome) Latency() time.Duration { return o.Finished.Sub(o.Arrival) }
+
+// Tax is the non-inference share of the request's latency: batch wait,
+// dispatch wait, its slice of the batch's pipeline tax and dispatch
+// overhead, and time serialized behind batch co-riders.
+func (o Outcome) Tax() time.Duration { return o.Latency() - o.Infer }
+
+// BatchWait is time spent waiting for the batch window to close.
+func (o Outcome) BatchWait() time.Duration { return o.Flushed.Sub(o.Arrival) }
+
+// DispatchWait is time a flushed batch waited for a free executor.
+func (o Outcome) DispatchWait() time.Duration { return o.Started.Sub(o.Flushed) }
+
+// DepthSample is one step of a model's admitted-queue depth, for the
+// Chrome trace's counter tracks.
+type DepthSample struct {
+	Model string
+	At    sim.Time
+	Depth int
+}
+
+// ModelBatches counts the batches one model's queue flushed.
+type ModelBatches struct {
+	Model   string
+	Batches int
+}
+
+// SimResult is everything one virtual-time load simulation produced.
+type SimResult struct {
+	// Outcomes are in arrival order, rejected requests included.
+	Outcomes []Outcome
+	// End is the virtual time the last request completed.
+	End sim.Time
+	// Batches counts flushed batches per model, in Config.Models order.
+	Batches []ModelBatches
+	// Spans, Flows and Metrics are the run's telemetry (spans only when
+	// Simulate was asked to trace).
+	Spans   []telemetry.Span
+	Flows   []telemetry.Flow
+	Metrics *telemetry.Registry
+	// Depth samples every admitted-queue depth change (traced runs).
+	Depth []DepthSample
+}
+
+// simQueue is one model's serving state inside the simulator.
+type simQueue struct {
+	name    string
+	pending []*simReq
+	window  sim.EventID
+	armed   bool
+	// queued counts admitted requests not yet in service — the
+	// admission-control quantity.
+	queued  int
+	batches int
+}
+
+type simReq struct {
+	out  Outcome
+	span *telemetry.ActiveSpan
+	wait *telemetry.ActiveSpan
+}
+
+type simBatch struct {
+	q    *simQueue
+	reqs []*simReq
+}
+
+// simulator runs the serving policy as a discrete-event simulation:
+// single-threaded on one virtual clock, so one seed produces one
+// history regardless of host parallelism.
+type simulator struct {
+	cfg     Config
+	table   *CostTable
+	eng     *sim.Engine
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
+	queues  map[string]*simQueue
+	order   []*simQueue
+	ready   []*simBatch // flushed batches awaiting an executor, FIFO
+	free    int         // idle executors
+	depth   []DepthSample
+	traced  bool
+}
+
+// Simulate replays the arrival schedule against the serving policy in
+// virtual time, pricing batches from the cost table. With traced set it
+// additionally records per-request spans and queue-depth samples.
+func Simulate(cfg Config, table *CostTable, arrivals []loadgen.Arrival, traced bool) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &simulator{
+		cfg:     cfg,
+		table:   table,
+		eng:     sim.NewEngine(),
+		metrics: telemetry.NewRegistry(),
+		queues:  make(map[string]*simQueue),
+		free:    cfg.Workers,
+		traced:  traced,
+	}
+	if traced {
+		s.tracer = telemetry.NewTracer(s.eng.Now)
+	}
+	for _, m := range cfg.Models {
+		q := &simQueue{name: m.Name}
+		s.queues[m.Name] = q
+		s.order = append(s.order, q)
+	}
+	reqs := make([]*simReq, len(arrivals))
+	for i, a := range arrivals {
+		if _, ok := s.queues[a.Model]; !ok {
+			return nil, fmt.Errorf("serve: arrival %d asks for %q, not in the loaded set", a.ID, a.Model)
+		}
+		r := &simReq{out: Outcome{ID: a.ID, Model: a.Model}}
+		reqs[i] = r
+		at := sim.Time(a.At)
+		s.eng.Schedule(at, func() { s.arrive(r) })
+	}
+	s.eng.Run()
+	res := &SimResult{
+		Outcomes: make([]Outcome, len(reqs)),
+		End:      s.eng.Now(),
+		Metrics:  s.metrics,
+		Depth:    s.depth,
+	}
+	for i, r := range reqs {
+		res.Outcomes[i] = r.out
+	}
+	for _, q := range s.order {
+		res.Batches = append(res.Batches, ModelBatches{Model: q.name, Batches: q.batches})
+	}
+	if s.tracer != nil {
+		res.Spans, res.Flows = s.tracer.Spans(), s.tracer.Flows()
+	}
+	return res, nil
+}
+
+func (s *simulator) sampleDepth(q *simQueue) {
+	if s.traced {
+		s.depth = append(s.depth, DepthSample{Model: q.name, At: s.eng.Now(), Depth: q.queued})
+	}
+}
+
+// arrive runs admission control and batch formation for one request.
+func (s *simulator) arrive(r *simReq) {
+	q := s.queues[r.out.Model]
+	now := s.eng.Now()
+	r.out.Arrival = now
+	s.metrics.Inc(telemetry.Labeled("aitax_serve_requests_total", "model", q.name))
+	if q.queued >= s.cfg.QueueDepth {
+		r.out.Rejected = true
+		s.metrics.Inc(telemetry.Labeled("aitax_serve_rejected_total", "model", q.name))
+		if s.tracer != nil {
+			sp := s.tracer.Instant("reject", "serve", telemetry.TrackCPU, nil, now)
+			sp.SetAttr("model", q.name)
+			sp.SetAttr("request", strconv.Itoa(r.out.ID))
+		}
+		return
+	}
+	q.queued++
+	s.sampleDepth(q)
+	if s.tracer != nil {
+		r.span = s.tracer.Start("request", "serve", telemetry.TrackCPU, nil)
+		r.span.SetAttr("model", q.name)
+		r.span.SetAttr("request", strconv.Itoa(r.out.ID))
+		r.wait = s.tracer.Start("queued", "serve", telemetry.TrackCPU, r.span)
+	}
+	q.pending = append(q.pending, r)
+	switch {
+	case len(q.pending) >= s.cfg.MaxBatch:
+		// Full batch: flush now, the window (if armed) is moot.
+		if q.armed {
+			s.eng.Cancel(q.window)
+			q.armed = false
+		}
+		s.flush(q)
+	case s.cfg.BatchWindow == 0:
+		s.flush(q)
+	case len(q.pending) == 1:
+		// First rider opens the window.
+		q.window = s.eng.After(s.cfg.BatchWindow, func() {
+			q.armed = false
+			s.flush(q)
+		})
+		q.armed = true
+	}
+}
+
+// flush closes the open batch and hands it to the executor pool.
+func (s *simulator) flush(q *simQueue) {
+	if len(q.pending) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	b := &simBatch{q: q, reqs: q.pending}
+	q.pending = nil
+	q.batches++
+	for _, r := range b.reqs {
+		r.out.Flushed = now
+	}
+	s.metrics.Inc(telemetry.Labeled("aitax_serve_batches_total", "model", q.name))
+	s.metrics.Observe(telemetry.Labeled("aitax_serve_batch_size", "model", q.name), float64(len(b.reqs)))
+	s.ready = append(s.ready, b)
+	s.dispatch()
+}
+
+// dispatch starts ready batches on idle executors, FIFO.
+func (s *simulator) dispatch() {
+	for s.free > 0 && len(s.ready) > 0 {
+		b := s.ready[0]
+		s.ready = s.ready[1:]
+		s.free--
+		now := s.eng.Now()
+		k := len(b.reqs)
+		cost := s.table.Cost(b.q.name, k)
+		service := s.cfg.DispatchCost + cost.Service
+		var span *telemetry.ActiveSpan
+		if s.tracer != nil {
+			span = s.tracer.Start("batch", "serve", telemetry.TrackCPU, nil)
+			span.SetAttr("model", b.q.name)
+			span.SetAttr("size", strconv.Itoa(k))
+		}
+		for _, r := range b.reqs {
+			r.out.Started = now
+			b.q.queued--
+			if r.wait != nil {
+				r.wait.End()
+			}
+		}
+		s.sampleDepth(b.q)
+		s.eng.After(service, func() {
+			s.complete(b, cost, span)
+		})
+	}
+}
+
+// complete finishes a batch: per-request accounting, executor release.
+func (s *simulator) complete(b *simBatch, cost BatchCost, span *telemetry.ActiveSpan) {
+	now := s.eng.Now()
+	k := len(b.reqs)
+	if span != nil {
+		span.End()
+	}
+	for _, r := range b.reqs {
+		r.out.Finished = now
+		r.out.BatchSize = k
+		r.out.Infer = cost.Infer / time.Duration(k)
+		r.out.ComputeTax = (cost.Tax + s.cfg.DispatchCost) / time.Duration(k)
+		if r.span != nil {
+			r.span.End()
+		}
+		ms := float64(r.out.Latency()) / float64(time.Millisecond)
+		s.metrics.Observe(telemetry.Labeled("aitax_serve_latency_ms", "model", b.q.name), ms)
+		s.metrics.Observe(telemetry.Labeled("aitax_serve_tax_ms", "model", b.q.name),
+			float64(r.out.Tax())/float64(time.Millisecond))
+	}
+	s.free++
+	s.dispatch()
+}

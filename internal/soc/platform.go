@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -150,6 +151,11 @@ func Platforms() []*SoC {
 	return []*SoC{OpenQ835(), Pixel3(), SD855HDK(), SD865HDK()}
 }
 
+// ErrUnknownPlatform is the sentinel PlatformByName wraps when no
+// platform matches; callers branch with errors.Is instead of matching
+// message text.
+var ErrUnknownPlatform = errors.New("soc: unknown platform")
+
 // PlatformByName finds a platform by product or chipset name.
 func PlatformByName(name string) (*SoC, error) {
 	for _, p := range Platforms() {
@@ -157,5 +163,5 @@ func PlatformByName(name string) (*SoC, error) {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("soc: unknown platform %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownPlatform, name)
 }

@@ -3,6 +3,7 @@ package aitax
 import (
 	"io"
 
+	"aitax/internal/app"
 	"aitax/internal/imaging"
 	"aitax/internal/postproc"
 	"aitax/internal/preproc"
@@ -10,6 +11,26 @@ import (
 	"aitax/internal/tensor"
 	"aitax/internal/tflite"
 )
+
+// PipelineStage identifies one node of the application's stage graph
+// (capture→pre→inference→post→ui). A camera frame traverses the whole
+// graph via App.ProcessFrame; a served request enters mid-graph via
+// App.ProcessRange — its payload arrives over the wire already
+// captured — and exits after post-processing.
+type PipelineStage = app.Stage
+
+// The pipeline stages in graph order.
+const (
+	StageCapture   = app.StageCapture
+	StagePre       = app.StagePre
+	StageInference = app.StageInference
+	StagePost      = app.StagePost
+	StageUI        = app.StageUI
+)
+
+// ParsePipelineStage resolves a stage name ("capture", "pre",
+// "inference", "post", "ui") to its PipelineStage.
+func ParsePipelineStage(name string) (PipelineStage, error) { return app.ParseStage(name) }
 
 // Imaging and pre-processing (paper §II-A/B).
 type (

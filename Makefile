@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo serve-smoke clean
+.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo serve-smoke slo-demo clean
 
 all: build test
 
@@ -37,9 +37,9 @@ bench:
 # allocs-only mode: 1-iteration wall times and warm-up alloc counts are
 # noise, but an allocation creeping onto a zero-alloc hot path fails the
 # build exactly. CI's bench-smoke job runs this.
-BENCH_BASELINE ?= BENCH_2026-08-05_tiled.json
+BENCH_BASELINE ?= BENCH_2026-08-08_obs.json
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ ./internal/par/ 2>&1 | tee bench_smoke.txt
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ ./internal/par/ ./internal/obs/ ./internal/telemetry/ 2>&1 | tee bench_smoke.txt
 	$(GO) run ./cmd/aitax-bench -parse bench_smoke.txt -date $(BENCH_DATE) -out BENCH_smoke.json
 	$(GO) run ./cmd/aitax-bench -compare -allocs-only $(BENCH_BASELINE) BENCH_smoke.json
 
@@ -84,5 +84,14 @@ serve-smoke:
 	$(GO) run ./cmd/aitax-serve -loadgen -parallel 1 | diff -u cmd/aitax-serve/testdata/load_report.golden -
 	@echo "serve-smoke ok: load report matches golden at any parallelism"
 
+# SLO smoke: the load simulation with burn-rate monitoring enabled,
+# diffed against the committed golden so the SLO report (compliance,
+# budget burn, alert timeline) stays deterministic (see docs/SERVE.md).
+slo-demo:
+	$(GO) run ./cmd/aitax-serve -loadgen -slo "MobileNet 1.0 v1=4ms@95,all=6ms@90" > slo_demo.txt
+	diff -u cmd/aitax-serve/testdata/slo_report.golden slo_demo.txt
+	$(GO) run ./cmd/aitax-serve -loadgen -slo "MobileNet 1.0 v1=4ms@95,all=6ms@90" -parallel 1 | diff -u cmd/aitax-serve/testdata/slo_report.golden -
+	@echo "slo-demo ok: burn-rate report matches golden at any parallelism"
+
 clean:
-	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt
+	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt slo_demo.txt

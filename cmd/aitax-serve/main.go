@@ -31,7 +31,9 @@ import (
 	"aitax/internal/lab"
 	"aitax/internal/loadgen"
 	"aitax/internal/models"
+	"aitax/internal/obs"
 	"aitax/internal/serve"
+	"aitax/internal/sim"
 	"aitax/internal/trace"
 )
 
@@ -58,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queueDepth := fs.Int("queue-depth", 16, "per-model admission limit; beyond it requests are rejected (HTTP 429)")
 	dispatch := fs.Duration("dispatch-cost", 200*time.Microsecond, "per-batch dispatch overhead, amortized across the batch")
 	seed := fs.Uint64("seed", 42, "random seed (0 is a valid seed)")
+	sloSpec := fs.String("slo", "", `latency SLOs, "MODEL=LATENCY@TARGET,..." (e.g. "all=5ms@95"); enables burn-rate monitoring`)
+	watch := fs.Bool("watch", false, "terminal dashboard: end-of-run snapshot in -loadgen mode, periodic refresh in server mode")
+	obsOut := fs.String("obs", "", "write per-window time-series rows (JSONL) to this file (-loadgen mode)")
+	obsWindow := fs.Duration("obs-window", 0, "streaming recorder window (default 250ms)")
 	common := cli.Register(fs, cli.Options{
 		Trace: true, Metrics: true, Faults: true, Parallel: true, Progress: true,
 	})
@@ -71,11 +77,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	if *sloSpec != "" {
+		if cfg.SLO, err = obs.ParseObjectives(*sloSpec); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		// An objective for a model that isn't loaded would never match a
+		// request and trivially pass — reject the typo up front.
+		for _, o := range cfg.SLO {
+			if o.Model == "" {
+				continue
+			}
+			loaded := false
+			for _, m := range cfg.Models {
+				loaded = loaded || m.Name == o.Model
+			}
+			if !loaded {
+				fmt.Fprintf(stderr, "slo: model %q is not loaded\n", o.Model)
+				return 1
+			}
+		}
+	}
+	cfg.ObsWindow = *obsWindow
 
 	if *loadMode {
-		return runLoad(cfg, *ramp, *mix, *seed, common, stdout, stderr)
+		return runLoad(cfg, *ramp, *mix, *seed, *watch, *obsOut, common, stdout, stderr)
 	}
-	return runServer(cfg, *addr, stderr)
+	return runServer(cfg, *addr, *watch, stderr)
 }
 
 // buildConfig assembles and validates the serving config from flags.
@@ -124,7 +152,7 @@ func buildConfig(platform, dtype, delegate, entry, modelList string,
 
 // runLoad runs the virtual-time load simulation and prints its report.
 func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
-	common *cli.Common, stdout, stderr io.Writer) int {
+	watch bool, obsOut string, common *cli.Common, stdout, stderr io.Writer) int {
 	phases, err := loadgen.ParseRamp(ramp)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -179,6 +207,36 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 	fmt.Fprintf(stdout, "models: %s\n", strings.Join(names, ", "))
 	fmt.Fprint(stdout, res.Report(cfg, ramp))
 
+	// The streaming observability view is built once and shared by the
+	// SLO report, the -watch snapshot, the JSONL export and the Chrome
+	// counter tracks — all derived from the same deterministic replay.
+	var so *serve.SimObs
+	if len(cfg.SLO) > 0 || watch || obsOut != "" || common.Trace != "" {
+		so = serve.BuildSimObs(cfg, res, cfg.ObsWindow, cfg.SLO)
+	}
+	if so != nil && so.Monitor != nil {
+		so.Monitor.WriteReport(stdout)
+		so.Monitor.Export(res.Metrics)
+	}
+	if watch {
+		fmt.Fprintf(stdout, "\n%s", so.Snapshot())
+	}
+	if obsOut != "" {
+		err := cli.WriteFile(obsOut, func(w io.Writer) error {
+			for _, row := range so.Rows {
+				if err := obs.WriteRowJSONL(w, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "time-series rows written to %s\n", obsOut)
+	}
+
 	if common.Metrics != "" {
 		if err := cli.WriteFile(common.Metrics, res.Metrics.WritePrometheus); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -192,6 +250,29 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 		for _, s := range res.Depth {
 			chrome.AddCounter("queue depth "+s.Model, s.At, float64(s.Depth))
 		}
+		// Per-window tax anatomy and latency percentiles as counter
+		// tracks, so Perfetto shows the tax evolving over the run.
+		for _, row := range so.Rows {
+			at := sim.Time(row.EndMS * 1e6)
+			for _, st := range obs.Stages {
+				if v, ok := row.Counters[obs.StageSeries(st)]; ok {
+					chrome.AddCounter("tax "+st+" ms/window", at, v)
+				}
+			}
+			if h, ok := row.Hists[obs.LatencySeries(obs.AllModels)]; ok {
+				chrome.AddCounter("latency p99 ms (all)", at, h.P99)
+			}
+			if v, ok := row.Counters[obs.RejectedSeries(obs.AllModels)]; ok {
+				chrome.AddCounter("rejected/window (all)", at, v)
+			}
+		}
+		if so.Monitor != nil {
+			for _, a := range so.Monitor.Alerts() {
+				chrome.AddInstant("slo "+a.Severity+": "+a.Objective, "slo", sim.Time(a.At), map[string]any{
+					"burn_short": a.Short, "burn_long": a.Long,
+				})
+			}
+		}
 		if err := cli.WriteFile(common.Trace, chrome.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -201,8 +282,9 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 	return 0
 }
 
-// runServer starts the wall-clock HTTP frontend.
-func runServer(cfg serve.Config, addr string, stderr io.Writer) int {
+// runServer starts the wall-clock HTTP frontend. With watch set it
+// re-renders the live dashboard to stderr every two seconds.
+func runServer(cfg serve.Config, addr string, watch bool, stderr io.Writer) int {
 	s, err := serve.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -211,6 +293,13 @@ func runServer(cfg serve.Config, addr string, stderr io.Writer) int {
 	defer s.Close()
 	fmt.Fprintf(stderr, "aitax-serve listening on %s (%s, %s, %s)\n",
 		addr, cfg.Platform.Name, cfg.Delegate, cfg.DType)
+	if watch {
+		go func() {
+			for range time.Tick(2 * time.Second) {
+				fmt.Fprintf(stderr, "\n%s", s.Watch())
+			}
+		}()
+	}
 	if err := http.ListenAndServe(addr, s.Handler()); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -36,6 +36,119 @@ func TestGoldenLoadReportAtAnyParallelism(t *testing.T) {
 	}
 }
 
+// goldenAtAnyParallelism runs args at -parallel 1/2/8 and asserts the
+// stdout is identical across widths and matches the committed golden.
+func goldenAtAnyParallelism(t *testing.T, args []string, golden string) string {
+	t.Helper()
+	var outputs []string
+	for _, par := range []string{"1", "2", "8"} {
+		var out, errb bytes.Buffer
+		full := append(append([]string{}, args...), "-parallel", par)
+		if code := run(full, &out, &errb); code != 0 {
+			t.Fatalf("-parallel %s: exit %d, stderr:\n%s", par, code, errb.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatalf("%s output differs across -parallel 1/2/8", golden)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0] != string(want) {
+		t.Fatalf("output diverged from %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, outputs[0], string(want))
+	}
+	return outputs[0]
+}
+
+func TestGoldenSLOReportAtAnyParallelism(t *testing.T) {
+	out := goldenAtAnyParallelism(t,
+		[]string{"-loadgen", "-slo", "MobileNet 1.0 v1=4ms@95,all=6ms@90"},
+		"slo_report.golden")
+	for _, want := range []string{"slo (windows of 250ms", "burn", "alerts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SLO report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoldenWatchSnapshotAtAnyParallelism(t *testing.T) {
+	out := goldenAtAnyParallelism(t,
+		[]string{"-loadgen", "-slo", "MobileNet 1.0 v1=4ms@95,all=6ms@90", "-watch"},
+		"watch_snapshot.golden")
+	for _, want := range []string{"aitax-serve  t=", "tax anatomy ms/req:", "p99 trend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("watch snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObsExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "rows.jsonl")
+	chrome := filepath.Join(dir, "trace.json")
+	args := []string{"-loadgen", "-ramp", "40x250ms", "-seed", "9",
+		"-slo", "all=5ms@95", "-obs", jsonl, "-trace", chrome}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	rows, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLatency bool
+	for _, line := range strings.Split(strings.TrimSpace(string(rows)), "\n") {
+		var row struct {
+			Window  int                        `json:"window"`
+			EndMS   float64                    `json:"end_ms"`
+			Hists   map[string]json.RawMessage `json:"hists"`
+			Counter map[string]float64         `json:"counters"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad JSONL row %q: %v", line, err)
+		}
+		if _, ok := row.Hists[`latency_ms{model="all"}`]; ok {
+			sawLatency = true
+		}
+	}
+	if !sawLatency {
+		t.Fatal("no aggregate latency histogram in any JSONL row")
+	}
+
+	tr, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	var taxCounters, sloInstants int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" && strings.HasPrefix(e.Name, "tax ") {
+			taxCounters++
+		}
+		if e.Ph == "i" && strings.HasPrefix(e.Name, "slo ") {
+			sloInstants++
+		}
+	}
+	if taxCounters == 0 {
+		t.Fatal("no per-window tax counter tracks in the trace")
+	}
+	if sloInstants == 0 {
+		t.Fatal("no SLO alert instants in the trace (the overloaded run must page)")
+	}
+}
+
 func TestExportsDoNotPerturbReport(t *testing.T) {
 	dir := t.TempDir()
 	chrome := filepath.Join(dir, "trace.json")
@@ -99,6 +212,8 @@ func TestBadFlagsFailCleanly(t *testing.T) {
 		{"-entry", "ui"},
 		{"-platform", "No Such Phone"},
 		{"-loadgen", "-dtype", "int8"}, // Deeplab has no quantized variant
+		{"-loadgen", "-slo", "all=6ms@x"},
+		{"-loadgen", "-slo", "No Such Model=4ms@95"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

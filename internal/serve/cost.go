@@ -11,6 +11,7 @@ import (
 	"aitax/internal/lab"
 	"aitax/internal/models"
 	"aitax/internal/sim"
+	"aitax/internal/telemetry"
 	"aitax/internal/tflite"
 )
 
@@ -28,6 +29,16 @@ type BatchCost struct {
 	// Tax is the summed per-frame pipeline tax across the batch
 	// (pre/post processing, fault retries, delegate fallback).
 	Tax time.Duration
+	// Pre and Post are the summed pre-/post-processing stage times — the
+	// Table-III anatomy the streaming recorder exports per window.
+	Pre  time.Duration
+	Post time.Duration
+	// RPC is the summed FastRPC overhead inside the inference stage
+	// (transport + queue + cache flush) and Exec the summed remote
+	// kernel execution, both measured from the stack's fastrpc metrics.
+	// Zero on delegates that never cross to the DSP.
+	RPC  time.Duration
+	Exec time.Duration
 }
 
 // batchSeed derives the executor-stack seed for one (model, batch-size)
@@ -55,24 +66,46 @@ func MeasureBatch(ctx context.Context, cfg Config, m *models.Model, k int) (Batc
 		return BatchCost{}, err
 	}
 	rt.Faults = inj
+	// A streaming (bounded-memory) registry on the stack captures the
+	// FastRPC split for the anatomy export. Metrics recording is
+	// host-side only: virtual timing, and therefore every golden, is
+	// unchanged by the attachment.
+	mreg := telemetry.NewStreamingRegistry()
+	rt.Metrics = mreg
 	a, err := app.New(rt, app.Config{
 		Model: m, DType: cfg.DType, Delegate: cfg.Delegate, Streaming: false,
 	})
 	if err != nil {
 		return BatchCost{}, err
 	}
+	rpcSum := func() time.Duration {
+		ms := mreg.Sum("aitax_fastrpc_transport_ms") +
+			mreg.Sum("aitax_fastrpc_queue_ms") +
+			mreg.Sum("aitax_fastrpc_cache_flush_ms")
+		return time.Duration(ms * float64(time.Millisecond))
+	}
+	execSum := func() time.Duration {
+		return time.Duration(mreg.Sum("aitax_fastrpc_exec_ms") * float64(time.Millisecond))
+	}
 	bc := BatchCost{Batch: k}
 	a.Init(func() {
 		start := rt.Eng.Now()
+		// Baselines taken after init: model load / plan compilation RPC
+		// traffic is setup cost, not part of the batch's anatomy.
+		rpc0, exec0 := rpcSum(), execSum()
 		var next func(i int)
 		next = func(i int) {
 			if i == k {
 				bc.Service = rt.Eng.Now().Sub(start)
+				bc.RPC = rpcSum() - rpc0
+				bc.Exec = execSum() - exec0
 				return
 			}
 			a.ProcessRange(cfg.Entry, app.StagePost, func(st app.FrameStats) {
 				bc.Infer += st.Inference
 				bc.Tax += st.Tax()
+				bc.Pre += st.Pre
+				bc.Post += st.Post
 				next(i + 1)
 			})
 		}

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"aitax/internal/lab"
 	"aitax/internal/models"
+	"aitax/internal/obs"
 	"aitax/internal/telemetry"
 )
 
@@ -35,6 +39,14 @@ type Server struct {
 	metrics *telemetry.Registry
 	lab     *lab.Lab
 	sem     chan struct{}
+	// retryAfter is the 429 Retry-After value in whole seconds, derived
+	// from the batch window (a client retrying sooner than the window
+	// cannot be admitted any faster).
+	retryAfter string
+	// start anchors the streaming recorder's wall-clock time axis.
+	start time.Time
+	rec   *obs.Recorder
+	mon   *obs.Monitor
 
 	mu     sync.Mutex
 	queues map[string]*httpQueue
@@ -72,12 +84,28 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		metrics: telemetry.NewRegistry(),
-		lab:     &lab.Lab{Parallelism: 1},
-		sem:     make(chan struct{}, cfg.Workers),
-		queues:  make(map[string]*httpQueue, len(cfg.Models)),
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		// A long-running server takes unbounded traffic: the streaming
+		// registry keeps /metrics memory flat (bucketed quantiles
+		// instead of retained samples).
+		metrics:    telemetry.NewStreamingRegistry(),
+		lab:        &lab.Lab{Parallelism: 1},
+		sem:        make(chan struct{}, cfg.Workers),
+		retryAfter: retryAfterSeconds(cfg.BatchWindow),
+		start:      time.Now(),
+		queues:     make(map[string]*httpQueue, len(cfg.Models)),
+	}
+	s.rec = obs.NewRecorder(obs.RecorderConfig{
+		Window: cfg.ObsWindow,
+		OnClose: func(row obs.Row) {
+			if s.mon != nil {
+				s.mon.OnRow(row)
+			}
+		},
+	})
+	if len(cfg.SLO) > 0 {
+		s.mon = obs.NewMonitor(cfg.SLO, s.rec.Window())
 	}
 	for _, m := range cfg.Models {
 		s.queues[m.Name] = &httpQueue{model: m}
@@ -89,13 +117,97 @@ func NewServer(cfg Config) (*Server, error) {
 		})
 	}
 	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/slo", s.handleSLO)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.WritePrometheus(w)
+		// Prometheus text exposition format 0.0.4; runtime health and
+		// SLO state are refreshed per scrape.
+		obs.CollectRuntime(s.metrics)
+		if s.mon != nil {
+			s.mon.Export(s.metrics)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is log the broken scrape.
+			http.Error(w, "metrics write failed: "+err.Error(), http.StatusInternalServerError)
+		}
 	})
+	// Live profiling surfaces, mounted on the same mux so the serving
+	// frontend is introspectable without a second listener.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s, nil
+}
+
+// retryAfterSeconds renders the batch window as a whole-second
+// Retry-After value (minimum 1s, the header's resolution floor).
+func retryAfterSeconds(window time.Duration) string {
+	secs := int(math.Ceil(window.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// now is the server's position on the recorder's time axis.
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+// Watch renders the live terminal dashboard from the server's streaming
+// recorder (the -watch flag's refresh body).
+func (s *Server) Watch() string {
+	models := make([]string, 0, len(s.cfg.Models))
+	for _, m := range s.cfg.Models {
+		models = append(models, m.Name)
+	}
+	d := &obs.Dashboard{Rec: s.rec, Mon: s.mon, Models: models}
+	return d.Render(s.now().Round(time.Millisecond))
+}
+
+// sloResponse is the /v1/slo JSON shape.
+type sloResponse struct {
+	Objective  string  `json:"objective"`
+	Contract   string  `json:"contract"`
+	Good       float64 `json:"good"`
+	Bad        float64 `json:"bad"`
+	Compliance float64 `json:"compliance"`
+	BudgetUsed float64 `json:"budget_used"`
+	BurnShort  float64 `json:"burn_short"`
+	BurnLong   float64 `json:"burn_long"`
+	Pages      int     `json:"pages"`
+	Warns      int     `json:"warns"`
+	Pass       bool    `json:"pass"`
+}
+
+// handleSLO reports each objective's compliance and live burn rate.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no SLOs configured (start with -slo)"})
+		return
+	}
+	burns := s.mon.CurrentBurn()
+	out := make([]sloResponse, 0, len(s.cfg.SLO))
+	for _, sum := range s.mon.Summaries() {
+		b := burns[sum.Objective.Name()]
+		out = append(out, sloResponse{
+			Objective:  sum.Objective.Name(),
+			Contract:   fmt.Sprintf("%g%% < %s", sum.Objective.Target*100, sum.Objective.Latency),
+			Good:       sum.Good,
+			Bad:        sum.Bad,
+			Compliance: sum.Compliance,
+			BudgetUsed: sum.BudgetUsed,
+			BurnShort:  b[0],
+			BurnLong:   b[1],
+			Pages:      sum.Pages,
+			Warns:      sum.Warns,
+			Pass:       sum.Pass,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // Handler returns the frontend's HTTP handler.
@@ -201,6 +313,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 		return
 	}
 	s.metrics.Inc(telemetry.Labeled("aitax_serve_requests_total", "model", m.Name))
+	arrival := s.now()
+	s.rec.Add(arrival, obs.OfferedSeries(m.Name), 1)
+	s.rec.Add(arrival, obs.OfferedSeries(obs.AllModels), 1)
 
 	hr := &httpReq{enq: time.Now(), ch: make(chan httpDone, 1)}
 	s.mu.Lock()
@@ -213,13 +328,21 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 	if q.queued >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.metrics.Inc(telemetry.Labeled("aitax_serve_rejected_total", "model", m.Name))
-		w.Header().Set("Retry-After", "1")
+		s.rec.Add(arrival, obs.RejectedSeries(m.Name), 1)
+		s.rec.Add(arrival, obs.RejectedSeries(obs.AllModels), 1)
+		for _, obj := range s.cfg.SLO {
+			if covered, _ := obj.Match(m.Name, 0, true); covered {
+				s.rec.Add(arrival, obs.BadSeries(obj), 1)
+			}
+		}
+		w.Header().Set("Retry-After", s.retryAfter)
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{
 			Error: fmt.Sprintf("queue for %q is full (depth %d); retry later", m.Name, s.cfg.QueueDepth),
 		})
 		return
 	}
 	q.queued++
+	s.rec.Observe(arrival, obs.DepthSeries(m.Name), float64(q.queued))
 	q.pending = append(q.pending, hr)
 	switch {
 	case len(q.pending) >= s.cfg.MaxBatch:
@@ -246,6 +369,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: done.err.Error()})
 			return
 		}
+		s.recordServed(m.Name, done)
 		k := time.Duration(done.batch)
 		writeJSON(w, http.StatusOK, inferResponse{
 			Model:     m.Name,
@@ -304,6 +428,49 @@ func (s *Server) execute(q *httpQueue, batch []*httpReq) {
 	}
 	for _, hr := range batch {
 		hr.ch <- httpDone{batch: k, wait: start.Sub(hr.enq), cost: cost, err: res.Err}
+	}
+}
+
+// recordServed feeds one completed request into the streaming recorder
+// under the shared series-name contract, and scores it against the
+// configured SLOs. Latency is the client's composite view: wall-clock
+// queueing on this host plus the batch's virtual execution on the
+// simulated SoC.
+func (s *Server) recordServed(model string, done httpDone) {
+	at := s.now()
+	k := time.Duration(done.batch)
+	lat := done.wait + s.cfg.DispatchCost + done.cost.Service
+	o := Outcome{
+		Model:     model,
+		BatchSize: done.batch,
+		Infer:     done.cost.Infer / k,
+		Pre:       done.cost.Pre / k,
+		Post:      done.cost.Post / k,
+		RPC:       done.cost.RPC / k,
+		Exec:      done.cost.Exec / k,
+	}
+	latMS := ms(lat)
+	for _, m := range []string{model, obs.AllModels} {
+		s.rec.Add(at, obs.ServedSeries(m), 1)
+		s.rec.Observe(at, obs.LatencySeries(m), latMS)
+		s.rec.Observe(at, obs.BatchSeries(m), float64(done.batch))
+		s.rec.Observe(at, obs.BatchWaitSeries(m), ms(done.wait))
+	}
+	s.rec.Add(at, obs.StageSeries("pre"), ms(o.Pre))
+	s.rec.Add(at, obs.StageSeries("framework"), ms(o.Framework()))
+	s.rec.Add(at, obs.StageSeries("rpc"), ms(o.RPC))
+	s.rec.Add(at, obs.StageSeries("infer"), ms(o.KernelExec()))
+	s.rec.Add(at, obs.StageSeries("post"), ms(o.Post))
+	for _, obj := range s.cfg.SLO {
+		covered, breached := obj.Match(model, lat, false)
+		if !covered {
+			continue
+		}
+		if breached {
+			s.rec.Add(at, obs.BadSeries(obj), 1)
+		} else {
+			s.rec.Add(at, obs.GoodSeries(obj), 1)
+		}
 	}
 }
 

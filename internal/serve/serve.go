@@ -25,6 +25,7 @@ import (
 	"aitax/internal/app"
 	"aitax/internal/faults"
 	"aitax/internal/models"
+	"aitax/internal/obs"
 	"aitax/internal/soc"
 	"aitax/internal/tensor"
 	"aitax/internal/tflite"
@@ -67,6 +68,14 @@ type Config struct {
 	// Faults is the deterministic fault plan threaded into every
 	// executor stack.
 	Faults faults.Plan
+	// SLO lists the latency objectives the serving observability layer
+	// monitors (burn-rate alerts, /v1/slo, the loadgen SLO report).
+	// Empty disables SLO monitoring.
+	SLO []obs.Objective
+	// ObsWindow is the streaming recorder's aggregation window (zero =
+	// the obs default, 250ms) — virtual time in the simulator, wall
+	// clock in the HTTP frontend.
+	ObsWindow time.Duration
 }
 
 // DefaultModels returns the standard serving set: one model per

@@ -33,6 +33,38 @@ type Outcome struct {
 	// ComputeTax is the request's share of the batch's pipeline tax
 	// plus its share of the per-dispatch overhead.
 	ComputeTax time.Duration
+	// Pre, Post, RPC and Exec are the request's share of the batch's
+	// Table-III stage anatomy (see BatchCost) — the streaming recorder's
+	// per-window tax export.
+	Pre  time.Duration
+	Post time.Duration
+	RPC  time.Duration
+	Exec time.Duration
+}
+
+// Framework is the inference-stage time not attributed to FastRPC
+// overhead or remote kernel execution: the framework/scheduling slice of
+// the Table-III anatomy. On delegates that never cross to the DSP it is
+// zero (all inference time counts as kernel execution).
+func (o Outcome) Framework() time.Duration {
+	if o.Exec == 0 && o.RPC == 0 {
+		return 0
+	}
+	fw := o.Infer - o.RPC - o.Exec
+	if fw < 0 {
+		return 0
+	}
+	return fw
+}
+
+// KernelExec is the useful kernel-execution slice of the anatomy: the
+// measured remote execution when the inference crossed to the DSP, the
+// whole inference stage otherwise.
+func (o Outcome) KernelExec() time.Duration {
+	if o.Exec == 0 && o.RPC == 0 {
+		return o.Infer
+	}
+	return o.Exec
 }
 
 // Latency is the end-to-end time the client observed.
@@ -284,6 +316,10 @@ func (s *simulator) complete(b *simBatch, cost BatchCost, span *telemetry.Active
 		r.out.BatchSize = k
 		r.out.Infer = cost.Infer / time.Duration(k)
 		r.out.ComputeTax = (cost.Tax + s.cfg.DispatchCost) / time.Duration(k)
+		r.out.Pre = cost.Pre / time.Duration(k)
+		r.out.Post = cost.Post / time.Duration(k)
+		r.out.RPC = cost.RPC / time.Duration(k)
+		r.out.Exec = cost.Exec / time.Duration(k)
 		if r.span != nil {
 			r.span.End()
 		}

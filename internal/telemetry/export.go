@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 )
 
 // WritePrometheus renders the registry in the Prometheus text
@@ -47,7 +46,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum += h.counts[len(DefaultBuckets)]
 		fmt.Fprintf(bw, "%s %d\n", spliceLabel(k, "_bucket", "le", "+Inf"), cum)
 		fmt.Fprintf(bw, "%s %s\n", suffixed(k, "_sum"), formatFloat(h.sum))
-		fmt.Fprintf(bw, "%s %d\n", suffixed(k, "_count"), len(h.values))
+		fmt.Fprintf(bw, "%s %d\n", suffixed(k, "_count"), h.count)
 		for _, q := range []struct {
 			suffix string
 			q      float64
@@ -104,19 +103,15 @@ func (r *Registry) Snapshot() RegistryJSON {
 	}
 	for k, h := range r.hists {
 		hj := HistogramJSON{
-			Count:   int64(len(h.values)),
+			Count:   h.count,
 			Sum:     h.sum,
 			P50:     h.quantile(0.5),
 			P90:     h.quantile(0.9),
 			P99:     h.quantile(0.99),
 			Buckets: map[string]int64{},
 		}
-		if len(h.values) > 0 {
-			hj.Min, hj.Max = math.Inf(1), math.Inf(-1)
-			for _, v := range h.values {
-				hj.Min = math.Min(hj.Min, v)
-				hj.Max = math.Max(hj.Max, v)
-			}
+		if h.count > 0 {
+			hj.Min, hj.Max = h.min, h.max
 		}
 		for i, ub := range DefaultBuckets {
 			hj.Buckets["le:"+formatFloat(ub)] = h.counts[i]

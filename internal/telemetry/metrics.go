@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -18,21 +17,40 @@ var DefaultBuckets = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
 }
 
-// histogram is a fixed-bucket histogram that also retains every
-// observation in insertion order, so quantiles are exact and merges are
-// deterministic.
+// histogram is a fixed-bucket histogram. In the default (exact) mode it
+// also retains every observation in insertion order, so quantiles are
+// exact and merges are deterministic. In streaming mode it keeps only
+// the bucket counts plus count/sum/min/max, so memory stays flat no
+// matter how many observations arrive; quantiles degrade to
+// deterministic bucket interpolation.
 type histogram struct {
 	counts []int64 // per DefaultBuckets bound, plus a final +Inf bucket
 	values []float64
+	count  int64
 	sum    float64
+	min    float64
+	max    float64
+	// streaming disables observation retention (see Registry streaming
+	// mode). A histogram also turns streaming when merged from a
+	// streaming source: the raw values no longer exist to retain.
+	streaming bool
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(DefaultBuckets)+1)}
+func newHistogram(streaming bool) *histogram {
+	return &histogram{counts: make([]int64, len(DefaultBuckets)+1), streaming: streaming}
 }
 
 func (h *histogram) observe(v float64) {
-	h.values = append(h.values, v)
+	if !h.streaming {
+		h.values = append(h.values, v)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
 	h.sum += v
 	for i, ub := range DefaultBuckets {
 		if v <= ub {
@@ -43,8 +61,12 @@ func (h *histogram) observe(v float64) {
 	h.counts[len(DefaultBuckets)]++
 }
 
-// quantile returns the exact nearest-rank q-quantile (q in [0,1]).
+// quantile returns the q-quantile (q in [0,1]): exact nearest-rank when
+// the observations are retained, bucket-interpolated otherwise.
 func (h *histogram) quantile(q float64) float64 {
+	if h.streaming {
+		return QuantileFromBuckets(DefaultBuckets, h.counts, h.count, h.min, h.max, q)
+	}
 	n := len(h.values)
 	if n == 0 {
 		return 0
@@ -62,6 +84,52 @@ func (h *histogram) quantile(q float64) float64 {
 	return sorted[idx]
 }
 
+// QuantileFromBuckets estimates the q-quantile of a fixed-bucket
+// histogram by linear interpolation inside the bucket holding the
+// nearest-rank observation. bounds are the bucket upper bounds; counts
+// has len(bounds)+1 entries (the last is the +Inf overflow bucket);
+// total is the observation count and min/max the observed extremes,
+// which clamp the estimate so it never leaves the observed range. The
+// estimate is a pure function of its inputs, so merged histograms
+// report identical quantiles regardless of merge order.
+func QuantileFromBuckets(bounds []float64, counts []int64, total int64, min, max float64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		lo := min
+		if i > 0 && bounds[i-1] > lo {
+			lo = bounds[i-1]
+		}
+		hi := max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Position of the rank within this bucket's occupants.
+		frac := float64(rank-(cum-n)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return max
+}
+
 // Registry is a deterministic metrics store: counters, gauges, and
 // fixed-bucket histograms with exact percentiles. Metric keys are full
 // series names, labels included — use Labeled to build them. All
@@ -70,13 +138,16 @@ func (h *histogram) quantile(q float64) float64 {
 // concurrent use; determinism of the *contents* comes from the callers
 // (single-threaded simulations, and the lab's submission-order merge).
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]float64
-	gauges   map[string]float64
-	hists    map[string]*histogram
+	mu        sync.Mutex
+	streaming bool
+	counters  map[string]float64
+	gauges    map[string]float64
+	hists     map[string]*histogram
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry in exact mode: histograms
+// retain every observation, so percentiles are exact — the right mode
+// for golden-diffed simulation runs of bounded length.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]float64),
@@ -85,9 +156,51 @@ func NewRegistry() *Registry {
 	}
 }
 
+// NewStreamingRegistry returns an empty registry in streaming mode:
+// histograms keep only fixed-bucket counts (plus count/sum/min/max), so
+// memory stays flat under unbounded observation streams — the mode for
+// long-running serving paths. Percentiles become deterministic
+// bucket-interpolated estimates instead of exact ranks.
+func NewStreamingRegistry() *Registry {
+	r := NewRegistry()
+	r.streaming = true
+	return r
+}
+
+// Streaming reports whether the registry is in streaming mode.
+func (r *Registry) Streaming() bool { return r != nil && r.streaming }
+
+// escapeLabel renders a label value with Prometheus text-format
+// escaping: backslash, double quote and newline become \\, \" and \n;
+// every other byte passes through verbatim. Values without those three
+// characters are returned unchanged (no allocation), so existing series
+// names — and the goldens built from them — are byte-identical.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
 // Labeled builds a labelled series name: Labeled("x_ms", "stage",
 // "pre") → `x_ms{stage="pre"}`. Pairs are rendered in argument order,
-// keeping series names deterministic.
+// keeping series names deterministic. Values are escaped per the
+// Prometheus text format, so arbitrary model names (quotes, backslashes,
+// newlines included) stay parseable on the wire.
 func Labeled(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -102,7 +215,10 @@ func Labeled(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -115,7 +231,7 @@ func spliceLabel(key, suffix, k, v string) string {
 	if i := strings.IndexByte(key, '{'); i >= 0 {
 		base, labels = key[:i], key[i+1:len(key)-1]
 	}
-	extra := fmt.Sprintf("%s=%q", k, v)
+	extra := k + `="` + escapeLabel(v) + `"`
 	if labels != "" {
 		labels += "," + extra
 	} else {
@@ -163,7 +279,7 @@ func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(r.streaming)
 		r.hists[name] = h
 	}
 	h.observe(v)
@@ -201,7 +317,21 @@ func (r *Registry) Count(name string) int64 {
 	if h == nil {
 		return 0
 	}
-	return int64(len(h.values))
+	return h.count
+}
+
+// Sum returns a histogram's observation sum (0 when absent or on nil).
+func (r *Registry) Sum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return 0
+	}
+	return h.sum
 }
 
 // Quantile returns the exact nearest-rank quantile of a histogram
@@ -244,6 +374,11 @@ func (r *Registry) HistogramNames() []string {
 // Merging the same registries in the same order always reproduces the
 // same state — the lab merges per-job registries in submission order to
 // keep sweep aggregates parallelism-independent.
+//
+// Streaming degrades but never lies: merging into a streaming registry,
+// or merging from a streaming histogram (whose raw values no longer
+// exist), leaves the destination histogram in streaming mode — bucket
+// counts add exactly, quantiles become interpolated estimates.
 func (r *Registry) Merge(other *Registry) {
 	if r == nil || other == nil {
 		return
@@ -262,10 +397,27 @@ func (r *Registry) Merge(other *Registry) {
 		oh := other.hists[k]
 		h := r.hists[k]
 		if h == nil {
-			h = newHistogram()
+			h = newHistogram(r.streaming)
 			r.hists[k] = h
 		}
-		h.values = append(h.values, oh.values...)
+		if oh.streaming && !h.streaming {
+			h.streaming = true
+			h.values = nil
+		}
+		if h.streaming {
+			h.values = nil
+		} else {
+			h.values = append(h.values, oh.values...)
+		}
+		if oh.count > 0 {
+			if h.count == 0 || oh.min < h.min {
+				h.min = oh.min
+			}
+			if h.count == 0 || oh.max > h.max {
+				h.max = oh.max
+			}
+		}
+		h.count += oh.count
 		h.sum += oh.sum
 		for i := range oh.counts {
 			h.counts[i] += oh.counts[i]

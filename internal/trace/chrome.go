@@ -188,6 +188,17 @@ func (c *ChromeRecorder) AddTelemetry(spans []telemetry.Span, flows []telemetry.
 	}
 }
 
+// AddInstant appends a standalone instant ("i") event on the pipeline
+// process — e.g. an SLO burn-rate alert firing mid-run.
+func (c *ChromeRecorder) AddInstant(name, category string, at sim.Time, args map[string]any) {
+	c.events = append(c.events, chromeEvent{
+		Name: name, Cat: category, Ph: "i",
+		TS:   float64(at.Nanoseconds()) / 1e3,
+		PID:  PIDPipeline,
+		Args: args,
+	})
+}
+
 // AddCounter appends one sample to a counter ("C") track of the
 // pipeline process.
 func (c *ChromeRecorder) AddCounter(name string, at sim.Time, value float64) {

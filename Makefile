@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo serve-smoke slo-demo clean
+.PHONY: all build test test-norace vet bench bench-smoke experiments validate results examples trace-demo chaos-demo serve-smoke slo-demo brownout-demo clean
 
 all: build test
 
@@ -39,7 +39,7 @@ bench:
 # build exactly. CI's bench-smoke job runs this.
 BENCH_BASELINE ?= BENCH_2026-08-08_obs.json
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ ./internal/par/ ./internal/obs/ ./internal/telemetry/ 2>&1 | tee bench_smoke.txt
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . ./internal/benchfmt/ ./internal/par/ ./internal/obs/ ./internal/qos/ ./internal/telemetry/ 2>&1 | tee bench_smoke.txt
 	$(GO) run ./cmd/aitax-bench -parse bench_smoke.txt -date $(BENCH_DATE) -out BENCH_smoke.json
 	$(GO) run ./cmd/aitax-bench -compare -allocs-only $(BENCH_BASELINE) BENCH_smoke.json
 
@@ -93,5 +93,23 @@ slo-demo:
 	$(GO) run ./cmd/aitax-serve -loadgen -slo "MobileNet 1.0 v1=4ms@95,all=6ms@90" -parallel 1 | diff -u cmd/aitax-serve/testdata/slo_report.golden -
 	@echo "slo-demo ok: burn-rate report matches golden at any parallelism"
 
+# Brownout smoke: the pinned overload storm with the QoS brownout
+# controller enabled, diffed against the committed golden (the full
+# degradation anatomy stays deterministic), then the aitax-validate
+# graceful-degradation gate — ladder engages and recovers, only
+# best-effort is shed, and the controller holds the interactive p99
+# inside an objective the frozen baseline violates (see docs/QOS.md).
+brownout-demo:
+	$(GO) run ./cmd/aitax-serve -loadgen \
+		-models "MobileNet 1.0 v1,EfficientNet-Lite0" \
+		-slo "EfficientNet-Lite0=350ms@95" \
+		-qos "tick=5ms,hold=6,short=2,long=4,enter=0.1/0.2/0.3,exit=0.04/0.08/0.15" \
+		-downshift "EfficientNet-Lite0=MobileNet 1.0 v1" \
+		-mix "EfficientNet-Lite0=2,EfficientNet-Lite0=2:best-effort,EfficientNet-Lite0=1:interactive" \
+		-ramp 300x300ms,4x3s -seed 11 -queue-depth 64 > brownout_demo.txt
+	diff -u cmd/aitax-serve/testdata/brownout_report.golden brownout_demo.txt
+	$(GO) run ./cmd/aitax-validate -brownout
+	@echo "brownout-demo ok: degradation anatomy matches golden and the gate passed"
+
 clean:
-	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt slo_demo.txt
+	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt slo_demo.txt brownout_demo.txt

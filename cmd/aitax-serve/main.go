@@ -17,12 +17,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"aitax"
@@ -32,8 +35,10 @@ import (
 	"aitax/internal/loadgen"
 	"aitax/internal/models"
 	"aitax/internal/obs"
+	"aitax/internal/qos"
 	"aitax/internal/serve"
 	"aitax/internal/sim"
+	"aitax/internal/thermal"
 	"aitax/internal/trace"
 )
 
@@ -48,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", ":8080", "HTTP listen address (server mode)")
 	loadMode := fs.Bool("loadgen", false, "run the deterministic load simulation instead of serving HTTP")
 	ramp := fs.String("ramp", "10x1s,150x1s", "open-loop QPS ramp, QPSxDURATION per phase")
-	mix := fs.String("mix", "", `request mix, "MODEL[=WEIGHT],..." (default: all loaded models, equal weight)`)
+	mix := fs.String("mix", "", `request mix, "MODEL[=WEIGHT][:CLASS],..." (class: interactive | standard | best-effort; default: all loaded models, equal weight, standard)`)
 	modelList := fs.String("models", "", "comma-separated loaded models (default: one per endpoint task)")
 	platform := fs.String("platform", "Google Pixel 3", "platform name or chipset (Table II)")
 	dtype := fs.String("dtype", "fp32", "precision: fp32 | int8 (int8 needs every loaded model quantized)")
@@ -61,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dispatch := fs.Duration("dispatch-cost", 200*time.Microsecond, "per-batch dispatch overhead, amortized across the batch")
 	seed := fs.Uint64("seed", 42, "random seed (0 is a valid seed)")
 	sloSpec := fs.String("slo", "", `latency SLOs, "MODEL=LATENCY@TARGET,..." (e.g. "all=5ms@95"); enables burn-rate monitoring`)
+	qosSpec := fs.String("qos", "", `brownout ladder, "key=value,..." or "on" for defaults (tick=50ms hold=8 enter=0.5/0.7/0.9 exit=0.25/0.4/0.6 ...); requires -slo`)
+	qosObserve := fs.Bool("qos-observe", false, "freeze the brownout controller at level 0: report the would-be timeline, take no action")
+	downshift := fs.String("downshift", "", `model downshift map, "FROM=TO,..." (both loaded, same task; engages at ladder level 2)`)
+	steer := fs.String("steer", "gpu", "delegate batches steer to at ladder level 3 (must differ from -delegate)")
+	thermalSpec := fs.String("thermal", "", `accelerator die model, "key=value,..." (ambient/max/start/floor/tau/trip; default thermal.Default)`)
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight batches (server mode)")
 	watch := fs.Bool("watch", false, "terminal dashboard: end-of-run snapshot in -loadgen mode, periodic refresh in server mode")
 	obsOut := fs.String("obs", "", "write per-window time-series rows (JSONL) to this file (-loadgen mode)")
 	obsWindow := fs.Duration("obs-window", 0, "streaming recorder window (default 250ms)")
@@ -100,10 +111,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.ObsWindow = *obsWindow
 
+	if *qosSpec != "" {
+		pol, err := buildQoSPolicy(*qosSpec, *downshift, *steer, *thermalSpec, *qosObserve)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		cfg.QoS = pol
+		// Re-validate: the QoS policy constrains the SLO set, the steer
+		// delegate and the downshift pairs against the loaded models.
+		cfg = cfg.Defaults()
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else if *downshift != "" || *qosObserve || *thermalSpec != "" {
+		fmt.Fprintln(stderr, "serve: -downshift, -qos-observe and -thermal need -qos")
+		return 1
+	}
+
 	if *loadMode {
 		return runLoad(cfg, *ramp, *mix, *seed, *watch, *obsOut, common, stdout, stderr)
 	}
-	return runServer(cfg, *addr, *watch, stderr)
+	return runServer(cfg, *addr, *watch, *drainTimeout, stderr)
+}
+
+// buildQoSPolicy assembles the brownout policy from its flags.
+func buildQoSPolicy(ladderSpec, downshift, steer, thermalSpec string, observe bool) (*serve.QoSPolicy, error) {
+	lad, err := qos.ParseLadder(ladderSpec)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := cli.ParseDelegate(steer)
+	if err != nil {
+		return nil, err
+	}
+	pol := &serve.QoSPolicy{Ladder: lad, SteerDelegate: sd, Observe: observe}
+	if downshift != "" {
+		if pol.Downshift, err = serve.ParseDownshift(downshift); err != nil {
+			return nil, err
+		}
+	}
+	if thermalSpec != "" {
+		if pol.Thermal, err = thermal.Parse(thermalSpec); err != nil {
+			return nil, err
+		}
+	}
+	return pol, nil
 }
 
 // buildConfig assembles and validates the serving config from flags.
@@ -273,6 +327,19 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 				})
 			}
 		}
+		// The brownout ladder as a counter track plus one instant marker
+		// per transition, so Perfetto shows degradation as part of the
+		// run's AI-tax anatomy.
+		if d := res.Degradation; d != nil {
+			chrome.AddCounter("qos level", 0, 0)
+			for _, tr := range d.Transitions {
+				chrome.AddCounter("qos level", sim.Time(tr.At), float64(tr.To))
+				chrome.AddInstant(fmt.Sprintf("qos L%d->L%d (%s)", tr.From, tr.To, tr.Driver),
+					"qos", sim.Time(tr.At), map[string]any{
+						"pressure": tr.Pressure, "temp_c": tr.TempC,
+					})
+			}
+		}
 		if err := cli.WriteFile(common.Trace, chrome.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -282,15 +349,17 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 	return 0
 }
 
-// runServer starts the wall-clock HTTP frontend. With watch set it
-// re-renders the live dashboard to stderr every two seconds.
-func runServer(cfg serve.Config, addr string, watch bool, stderr io.Writer) int {
+// runServer starts the wall-clock HTTP frontend and drains it
+// gracefully on SIGINT/SIGTERM: admission flips to 503 + Retry-After,
+// open micro-batch windows flush so queued requests still get served,
+// and in-flight batches have drainTimeout to complete. With watch set
+// it re-renders the live dashboard to stderr every two seconds.
+func runServer(cfg serve.Config, addr string, watch bool, drainTimeout time.Duration, stderr io.Writer) int {
 	s, err := serve.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	defer s.Close()
 	fmt.Fprintf(stderr, "aitax-serve listening on %s (%s, %s, %s)\n",
 		addr, cfg.Platform.Name, cfg.Delegate, cfg.DType)
 	if watch {
@@ -300,9 +369,36 @@ func runServer(cfg serve.Config, addr string, watch bool, stderr io.Writer) int 
 			}
 		}()
 	}
-	if err := http.ListenAndServe(addr, s.Handler()); err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(stderr, "signal received; draining (timeout %v)\n", drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		// Drain the serving layer first (flush windows, finish batches),
+		// then let the HTTP listener close idle connections.
+		if err := s.Shutdown(dctx); err != nil {
+			fmt.Fprintf(stderr, "drain incomplete: %v\n", err)
+			hs.Close()
+			return 1
+		}
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintf(stderr, "listener shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "drained cleanly")
+		return 0
 	}
-	return 0
 }

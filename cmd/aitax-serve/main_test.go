@@ -85,6 +85,76 @@ func TestGoldenWatchSnapshotAtAnyParallelism(t *testing.T) {
 	}
 }
 
+// brownoutArgs is the storm the brownout golden and the Makefile's
+// brownout-demo target share: an overload burst that climbs the full
+// ladder, then a calm tail it recovers through.
+var brownoutArgs = []string{
+	"-loadgen",
+	"-models", "MobileNet 1.0 v1,EfficientNet-Lite0",
+	"-slo", "EfficientNet-Lite0=350ms@95",
+	"-qos", "tick=5ms,hold=6,short=2,long=4,enter=0.1/0.2/0.3,exit=0.04/0.08/0.15",
+	"-downshift", "EfficientNet-Lite0=MobileNet 1.0 v1",
+	"-mix", "EfficientNet-Lite0=2,EfficientNet-Lite0=2:best-effort,EfficientNet-Lite0=1:interactive",
+	"-ramp", "300x300ms,4x3s",
+	"-seed", "11",
+	"-queue-depth", "64",
+}
+
+func TestGoldenBrownoutReportAtAnyParallelism(t *testing.T) {
+	out := goldenAtAnyParallelism(t, brownoutArgs, "brownout_report.golden")
+	for _, want := range []string{
+		"degradation anatomy (brownout controller active",
+		"L0->L1", "L2->L3", "L1->L0",
+		"per-class latency",
+		"best-effort",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("brownout report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "shed 0 best-effort") {
+		t.Fatal("golden storm shed no best-effort traffic")
+	}
+}
+
+func TestBrownoutTraceHasQoSMarkers(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	args := append(append([]string{}, brownoutArgs...), "-trace", chrome)
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	tr, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	var levelCounters, qosInstants int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" && e.Name == "qos level" {
+			levelCounters++
+		}
+		if e.Ph == "i" && strings.HasPrefix(e.Name, "qos L") {
+			qosInstants++
+		}
+	}
+	if levelCounters < 2 {
+		t.Fatalf("qos level counter track has %d points, want the ladder timeline", levelCounters)
+	}
+	if qosInstants == 0 {
+		t.Fatal("no qos transition instants in the trace")
+	}
+}
+
 func TestObsExports(t *testing.T) {
 	dir := t.TempDir()
 	jsonl := filepath.Join(dir, "rows.jsonl")
@@ -214,6 +284,17 @@ func TestBadFlagsFailCleanly(t *testing.T) {
 		{"-loadgen", "-dtype", "int8"}, // Deeplab has no quantized variant
 		{"-loadgen", "-slo", "all=6ms@x"},
 		{"-loadgen", "-slo", "No Such Model=4ms@95"},
+		// QoS flag validation: bad ladder spec, qos without an SLO, steer
+		// colliding with the serving delegate, downshift to an unloaded
+		// model, satellite flags without -qos, and a bad thermal spec.
+		{"-loadgen", "-slo", "all=6ms@90", "-qos", "tick=-5ms"},
+		{"-loadgen", "-slo", "all=6ms@90", "-qos", "enter=0.5/0.4/0.9"},
+		{"-loadgen", "-qos", "on"},
+		{"-loadgen", "-slo", "all=6ms@90", "-qos", "on", "-steer", "nnapi"},
+		{"-loadgen", "-slo", "all=6ms@90", "-qos", "on", "-downshift", "MobileNet 1.0 v1=AlexNet"},
+		{"-loadgen", "-slo", "all=6ms@90", "-downshift", "A=B"},
+		{"-loadgen", "-qos-observe"},
+		{"-loadgen", "-slo", "all=6ms@90", "-qos", "on", "-thermal", "max=10"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

@@ -10,10 +10,20 @@
 // byte-identical — proving the injected faults, retries and CPU
 // fallbacks are deterministic at any parallelism (see docs/FAULTS.md).
 //
+// With -brownout it runs the graceful-degradation gate instead: a
+// pinned overload storm against the serving simulator with the QoS
+// brownout controller enabled and again with the controller frozen,
+// failing unless the ladder fully engages and recovers, only
+// best-effort traffic is shed, the report is byte-identical at any
+// parallelism, and the controller demonstrably holds the interactive
+// p99 inside an objective the frozen baseline violates (see
+// docs/QOS.md).
+//
 //	aitax-validate            # exit 0 iff every shape check passes
 //	aitax-validate -runs 100  # higher-precision run
 //	aitax-validate -parallel 1  # strictly sequential
 //	aitax-validate -chaos     # deterministic fault-injection gate
+//	aitax-validate -brownout  # graceful-degradation gate
 package main
 
 import (
@@ -43,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"worker-pool size; the report is identical at any value")
 	chaos := fs.Bool("chaos", false,
 		"run the fault-injection gate instead of the shape checks")
+	brownout := fs.Bool("brownout", false,
+		"run the graceful-degradation gate instead of the shape checks")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,8 +64,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	if *chaos && *brownout {
+		fmt.Fprintln(stderr, "aitax-validate: -chaos and -brownout are separate gates; pick one")
+		return 2
+	}
 	if *chaos {
 		return chaosRun(p, *seed, *parallel, stdout, stderr)
+	}
+	if *brownout {
+		return brownoutRun(p, *parallel, stdout, stderr)
 	}
 	cfg := aitax.ExperimentConfig{Platform: p, Seed: *seed, SeedSet: true, Runs: *runs}
 

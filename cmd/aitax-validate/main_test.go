@@ -36,3 +36,50 @@ func TestChaosGateDeterministic(t *testing.T) {
 		t.Fatalf("chaos report differs across invocations/parallelism:\n--- parallel 4 ---\n%s--- parallel 2 ---\n%s", wide, again)
 	}
 }
+
+// The brownout gate must pass end to end: ladder engaged and
+// recovered, only best-effort shed, the controller inside the
+// objective the frozen baseline violates, and the report identical
+// across pool widths.
+func TestBrownoutGatePasses(t *testing.T) {
+	gate := func(parallel string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-brownout", "-parallel", parallel}, &out, &errb); code != 0 {
+			t.Fatalf("brownout gate exited %d: %s%s", code, out.String(), errb.String())
+		}
+		return out.String()
+	}
+	wide := gate("4")
+	if !strings.Contains(wide, "brownout gate PASS") {
+		t.Fatalf("no PASS line in report:\n%s", wide)
+	}
+	for _, want := range []string{
+		"degradation anatomy (brownout controller active",
+		"per-class latency",
+		"observe-only baseline violates it",
+	} {
+		if !strings.Contains(wide, want) {
+			t.Fatalf("report missing %q:\n%s", want, wide)
+		}
+	}
+	if strings.Contains(wide, "FAIL") {
+		t.Fatalf("gate passed with FAIL lines:\n%s", wide)
+	}
+	// Only the first PASS line names the -parallel value; the measured
+	// anatomy before the checks must match across pool widths.
+	body := func(s string) string { return s[:strings.Index(s, "PASS  report byte-identical")] }
+	if again := gate("2"); body(again) != body(wide) {
+		t.Fatalf("brownout report differs across parallelism:\n--- parallel 4 ---\n%s--- parallel 2 ---\n%s", wide, again)
+	}
+}
+
+// -chaos and -brownout are mutually exclusive gates.
+func TestGateFlagsAreExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-chaos", "-brownout"}, &out, &errb); code == 0 {
+		t.Fatal("combined -chaos -brownout succeeded, want an error")
+	}
+	if errb.Len() == 0 {
+		t.Fatal("combined gates failed silently")
+	}
+}

@@ -15,13 +15,21 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
 
+	"aitax/internal/qos"
 	"aitax/internal/sim"
 )
+
+// ErrBadSpec tags every load-spec validation or parse error, so the
+// edges (flag parsing, HTTP handlers) can recognize bad input with
+// errors.Is instead of matching message text.
+var ErrBadSpec = errors.New("loadgen: bad spec")
 
 // Phase is one constant-rate segment of the QPS ramp.
 type Phase struct {
@@ -32,10 +40,12 @@ type Phase struct {
 }
 
 // Share weights one model in the request mix. Requests pick their model
-// independently per arrival, proportional to Weight.
+// independently per arrival, proportional to Weight. Class is the QoS
+// class every request for this share carries (empty = standard).
 type Share struct {
 	Model  string
 	Weight int
+	Class  string
 }
 
 // Arrival is one generated request: when it reaches the server (virtual
@@ -47,6 +57,9 @@ type Arrival struct {
 	At time.Duration
 	// Model is the requested model's Table-I name.
 	Model string
+	// Class is the request's QoS class, copied from its mix share
+	// (empty = standard; see qos.ParseClass).
+	Class string
 }
 
 // Spec describes an open-loop load: the seed, the QPS ramp and the
@@ -57,28 +70,34 @@ type Spec struct {
 	Mix    []Share
 }
 
-// Validate reports the first problem with the spec.
+// Validate reports the first problem with the spec. All errors wrap
+// ErrBadSpec. NaN and infinite rates are rejected explicitly: NaN
+// compares false against every range check and would otherwise produce
+// a silently degenerate (empty or endless) schedule.
 func (s Spec) Validate() error {
 	if len(s.Phases) == 0 {
-		return fmt.Errorf("loadgen: spec needs at least one ramp phase")
+		return fmt.Errorf("%w: needs at least one ramp phase", ErrBadSpec)
 	}
 	for i, p := range s.Phases {
-		if p.QPS <= 0 {
-			return fmt.Errorf("loadgen: phase %d: qps must be positive, got %g", i, p.QPS)
+		if !(p.QPS > 0) || math.IsInf(p.QPS, 0) {
+			return fmt.Errorf("%w: phase %d: qps must be a positive finite number, got %g", ErrBadSpec, i, p.QPS)
 		}
 		if p.Duration <= 0 {
-			return fmt.Errorf("loadgen: phase %d: duration must be positive, got %v", i, p.Duration)
+			return fmt.Errorf("%w: phase %d: duration must be positive, got %v", ErrBadSpec, i, p.Duration)
 		}
 	}
 	if len(s.Mix) == 0 {
-		return fmt.Errorf("loadgen: spec needs at least one model in the mix")
+		return fmt.Errorf("%w: needs at least one model in the mix", ErrBadSpec)
 	}
 	for i, m := range s.Mix {
 		if m.Model == "" {
-			return fmt.Errorf("loadgen: mix entry %d has no model name", i)
+			return fmt.Errorf("%w: mix entry %d has no model name", ErrBadSpec, i)
 		}
 		if m.Weight <= 0 {
-			return fmt.Errorf("loadgen: mix entry %d (%s): weight must be positive, got %d", i, m.Model, m.Weight)
+			return fmt.Errorf("%w: mix entry %d (%s): weight must be positive, got %d", ErrBadSpec, i, m.Model, m.Weight)
+		}
+		if _, err := qos.ParseClass(m.Class); err != nil {
+			return fmt.Errorf("%w: mix entry %d (%s): %v", ErrBadSpec, i, m.Model, err)
 		}
 	}
 	return nil
@@ -115,15 +134,15 @@ func (s Spec) Generate() ([]Arrival, error) {
 		t := phaseStart + time.Duration(rng.Exp(mean))
 		for t < end {
 			pick := rng.Intn(total)
-			model := ""
+			model, class := "", ""
 			for _, m := range s.Mix {
 				if pick < m.Weight {
-					model = m.Model
+					model, class = m.Model, m.Class
 					break
 				}
 				pick -= m.Weight
 			}
-			out = append(out, Arrival{ID: len(out), At: t, Model: model})
+			out = append(out, Arrival{ID: len(out), At: t, Model: model, Class: class})
 			t += time.Duration(rng.Exp(mean))
 		}
 		phaseStart = end
@@ -143,26 +162,34 @@ func ParseRamp(s string) ([]Phase, error) {
 		}
 		qpsStr, durStr, ok := strings.Cut(part, "x")
 		if !ok {
-			return nil, fmt.Errorf("loadgen: ramp phase %q: want QPSxDURATION, e.g. 50x2s", part)
+			return nil, fmt.Errorf("%w: ramp phase %q: want QPSxDURATION, e.g. 50x2s", ErrBadSpec, part)
 		}
 		qps, err := strconv.ParseFloat(qpsStr, 64)
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: ramp phase %q: bad qps %q", part, qpsStr)
+			return nil, fmt.Errorf("%w: ramp phase %q: bad qps %q", ErrBadSpec, part, qpsStr)
+		}
+		if !(qps > 0) || math.IsInf(qps, 0) {
+			return nil, fmt.Errorf("%w: ramp phase %q: qps must be a positive finite number, got %g", ErrBadSpec, part, qps)
 		}
 		dur, err := time.ParseDuration(durStr)
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: ramp phase %q: bad duration %q", part, durStr)
+			return nil, fmt.Errorf("%w: ramp phase %q: bad duration %q", ErrBadSpec, part, durStr)
+		}
+		if dur <= 0 {
+			return nil, fmt.Errorf("%w: ramp phase %q: duration must be positive, got %v", ErrBadSpec, part, dur)
 		}
 		phases = append(phases, Phase{QPS: qps, Duration: dur})
 	}
 	if len(phases) == 0 {
-		return nil, fmt.Errorf("loadgen: empty ramp spec")
+		return nil, fmt.Errorf("%w: empty ramp spec", ErrBadSpec)
 	}
 	return phases, nil
 }
 
-// ParseMix parses a model mix of the form "MODEL[=WEIGHT][,...]", e.g.
-// "MobileNet 1.0 v1=2,Deeplab-v3 MobileNet-v2". An omitted weight is 1.
+// ParseMix parses a model mix of the form "MODEL[=WEIGHT][:CLASS][,...]",
+// e.g. "MobileNet 1.0 v1=2:interactive,Deeplab-v3 MobileNet-v2:best-effort".
+// An omitted weight is 1; an omitted class is standard. No Table-I model
+// name contains a colon, so the class suffix is unambiguous.
 func ParseMix(s string) ([]Share, error) {
 	var mix []Share
 	for _, part := range strings.Split(s, ",") {
@@ -172,18 +199,41 @@ func ParseMix(s string) ([]Share, error) {
 		}
 		name, weightStr, hasWeight := strings.Cut(part, "=")
 		name = strings.TrimSpace(name)
+		class := ""
 		weight := 1
 		if hasWeight {
+			weightStr, class, _ = cutClass(weightStr)
 			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
 			if err != nil {
-				return nil, fmt.Errorf("loadgen: mix entry %q: bad weight %q", part, weightStr)
+				return nil, fmt.Errorf("%w: mix entry %q: bad weight %q", ErrBadSpec, part, weightStr)
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("%w: mix entry %q: weight must be positive, got %d", ErrBadSpec, part, w)
 			}
 			weight = w
+		} else {
+			name, class, _ = cutClass(name)
 		}
-		mix = append(mix, Share{Model: name, Weight: weight})
+		if name == "" {
+			return nil, fmt.Errorf("%w: mix entry %q has no model name", ErrBadSpec, part)
+		}
+		cls, err := qos.ParseClass(class)
+		if err != nil {
+			return nil, fmt.Errorf("%w: mix entry %q: %v", ErrBadSpec, part, err)
+		}
+		if class != "" {
+			class = cls.String() // canonical spelling
+		}
+		mix = append(mix, Share{Model: name, Weight: weight, Class: class})
 	}
 	if len(mix) == 0 {
-		return nil, fmt.Errorf("loadgen: empty mix spec")
+		return nil, fmt.Errorf("%w: empty mix spec", ErrBadSpec)
 	}
 	return mix, nil
+}
+
+// cutClass splits an optional ":CLASS" suffix off a mix segment.
+func cutClass(s string) (rest, class string, ok bool) {
+	rest, class, ok = strings.Cut(s, ":")
+	return strings.TrimSpace(rest), strings.TrimSpace(class), ok
 }

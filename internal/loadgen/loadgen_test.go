@@ -1,6 +1,8 @@
 package loadgen
 
 import (
+	"errors"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -144,6 +146,85 @@ func TestValidate(t *testing.T) {
 		mutate(&s)
 		if err := s.Validate(); err == nil {
 			t.Errorf("case %d: Validate succeeded, want error", i)
+		} else if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("case %d: error %v does not wrap ErrBadSpec", i, err)
+		}
+	}
+}
+
+func TestValidateRejectsNaNAndInf(t *testing.T) {
+	// NaN compares false against "<= 0", so an untyped range check
+	// would silently accept it and generate a degenerate schedule.
+	cases := []func(*Spec){
+		func(s *Spec) { s.Phases[0].QPS = math.NaN() },
+		func(s *Spec) { s.Phases[0].QPS = math.Inf(1) },
+		func(s *Spec) { s.Phases[0].QPS = -5 },
+		func(s *Spec) { s.Mix[0].Class = "vip" },
+	}
+	for i, mutate := range cases {
+		s := spec()
+		mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("case %d: Validate succeeded, want error", i)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("case %d: error %v does not wrap ErrBadSpec", i, err)
+		}
+		if _, err := s.Generate(); err == nil {
+			t.Errorf("case %d: Generate succeeded on an invalid spec", i)
+		}
+	}
+}
+
+func TestParseMixClasses(t *testing.T) {
+	mix, err := ParseMix("MobileNet 1.0 v1=3:interactive, SqueezeNet:be, Deeplab-v3 MobileNet-v2=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Share{
+		{Model: "MobileNet 1.0 v1", Weight: 3, Class: "interactive"},
+		{Model: "SqueezeNet", Weight: 1, Class: "best-effort"},
+		{Model: "Deeplab-v3 MobileNet-v2", Weight: 1, Class: ""},
+	}
+	if !reflect.DeepEqual(mix, want) {
+		t.Fatalf("got %+v, want %+v", mix, want)
+	}
+	for _, bad := range []string{"m=1:vip", "m:platinum", ":interactive", "m=0:be", "m=-2"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", bad)
+		} else if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseMix(%q): error %v does not wrap ErrBadSpec", bad, err)
+		}
+	}
+}
+
+func TestGeneratePropagatesClass(t *testing.T) {
+	s := spec()
+	s.Mix[0].Class = "interactive"
+	s.Mix[1].Class = "best-effort"
+	arrivals, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals {
+		want := "interactive"
+		if a.Model == "Deeplab-v3 MobileNet-v2" {
+			want = "best-effort"
+		}
+		if a.Class != want {
+			t.Fatalf("arrival %d (%s) has class %q, want %q", a.ID, a.Model, a.Class, want)
+		}
+	}
+}
+
+func TestParseRampRejectsNonPositive(t *testing.T) {
+	for _, bad := range []string{"NaN x1s", "NaNx1s", "0x1s", "-5x1s", "+Infx1s", "5x0s", "5x-1s"} {
+		if _, err := ParseRamp(bad); err == nil {
+			t.Errorf("ParseRamp(%q) succeeded, want error", bad)
+		} else if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseRamp(%q): error %v does not wrap ErrBadSpec", bad, err)
 		}
 	}
 }

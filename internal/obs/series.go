@@ -30,6 +30,20 @@ func RejectedSeries(model string) string {
 	return telemetry.Labeled("rejected", "model", model)
 }
 
+// ShedSeries counts requests the brownout controller turned away by
+// QoS class at admission — deliberate load shedding, kept apart from
+// queue-full rejections so the degradation is attributable.
+func ShedSeries(model string) string {
+	return telemetry.Labeled("shed", "model", model)
+}
+
+// CancelledSeries counts queued requests whose caller abandoned them
+// before dispatch (context cancellation) — removed from the batch, not
+// served, not rejected.
+func CancelledSeries(model string) string {
+	return telemetry.Labeled("cancelled", "model", model)
+}
+
 // BatchSeries is the batch-size histogram (one observation per served
 // request, valued at its batch's size).
 func BatchSeries(model string) string {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -48,13 +49,19 @@ func trimFloat(v float64) string {
 	return strconv.FormatFloat(math.Round(v*1e9)/1e9, 'f', -1, 64)
 }
 
+// ErrBadObjective tags every SLO-spec parse error, so the edges can
+// recognize bad input with errors.Is instead of matching message text.
+var ErrBadObjective = errors.New("obs: bad slo spec")
+
 // ParseObjectives parses an SLO spec of the form
 // "MODEL=LATENCY@TARGET[,...]", e.g.
 //
 //	"MobileNet 1.0 v1=250ms@99,all=400ms@95"
 //
 // LATENCY uses Go duration syntax; TARGET is a percentage (99, 99.9).
-// MODEL "all" or "*" covers every model in aggregate.
+// MODEL "all" or "*" covers every model in aggregate. All errors wrap
+// ErrBadObjective; NaN targets are rejected explicitly (NaN compares
+// false against both range bounds and would otherwise slip through).
 func ParseObjectives(spec string) ([]Objective, error) {
 	var out []Objective
 	for _, part := range strings.Split(spec, ",") {
@@ -64,19 +71,19 @@ func ParseObjectives(spec string) ([]Objective, error) {
 		}
 		name, rest, ok := strings.Cut(part, "=")
 		if !ok {
-			return nil, fmt.Errorf("obs: slo %q: want MODEL=LATENCY@TARGET, e.g. all=250ms@99", part)
+			return nil, fmt.Errorf("%w: %q: want MODEL=LATENCY@TARGET, e.g. all=250ms@99", ErrBadObjective, part)
 		}
 		latStr, pctStr, ok := strings.Cut(rest, "@")
 		if !ok {
-			return nil, fmt.Errorf("obs: slo %q: missing @TARGET percentage", part)
+			return nil, fmt.Errorf("%w: %q: missing @TARGET percentage", ErrBadObjective, part)
 		}
 		lat, err := time.ParseDuration(strings.TrimSpace(latStr))
 		if err != nil || lat <= 0 {
-			return nil, fmt.Errorf("obs: slo %q: bad latency %q", part, latStr)
+			return nil, fmt.Errorf("%w: %q: bad latency %q", ErrBadObjective, part, latStr)
 		}
 		pct, err := strconv.ParseFloat(strings.TrimSpace(pctStr), 64)
-		if err != nil || pct <= 0 || pct >= 100 {
-			return nil, fmt.Errorf("obs: slo %q: target must be a percentage in (0,100), got %q", part, pctStr)
+		if err != nil || math.IsNaN(pct) || pct <= 0 || pct >= 100 {
+			return nil, fmt.Errorf("%w: %q: target must be a percentage in (0,100), got %q", ErrBadObjective, part, pctStr)
 		}
 		model := strings.TrimSpace(name)
 		if model == "all" || model == "*" {
@@ -88,7 +95,7 @@ func ParseObjectives(spec string) ([]Objective, error) {
 		out = append(out, Objective{Model: model, Latency: lat, Target: target})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("obs: empty slo spec")
+		return nil, fmt.Errorf("%w: empty spec", ErrBadObjective)
 	}
 	return out, nil
 }

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -25,9 +27,14 @@ func TestParseObjectives(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"", "nomodel", "m=250ms", "m=@99", "m=250ms@", "m=0s@99", "m=1s@0", "m=1s@100", "m=1s@146",
+		// NaN compares false against both range bounds; without the
+		// explicit check it parses into a degenerate objective.
+		"m=1s@NaN", "m=1s@nan", "m=1s@-5", "m=-1s@99",
 	} {
 		if _, err := ParseObjectives(bad); err == nil {
 			t.Errorf("spec %q: want error", bad)
+		} else if !errors.Is(err, ErrBadObjective) {
+			t.Errorf("spec %q: error %v does not wrap ErrBadObjective", bad, err)
 		}
 	}
 }
@@ -132,6 +139,50 @@ func TestMonitorRecoversAndCanRePage(t *testing.T) {
 	}
 	if pages != 2 {
 		t.Fatalf("want a second page after recovery, got %d", pages)
+	}
+}
+
+// TestMonitorReArmUnderConcurrentReads replays the recover-and-re-page
+// sequence while reader goroutines hammer Summaries/CurrentBurn/Alerts.
+// Under -race this proves the monitor's mutex covers the severity
+// re-arm path, not just the happy path.
+func TestMonitorReArmUnderConcurrentReads(t *testing.T) {
+	obj := Objective{Model: "A", Latency: time.Millisecond, Target: 0.9}
+	m := NewMonitor([]Objective{obj}, 250*time.Millisecond)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Summaries()
+				m.CurrentBurn()
+				m.Alerts()
+			}
+		}()
+	}
+
+	feed(m, obj, 0, 24, 0, 100)  // burn: page
+	feed(m, obj, 24, 48, 100, 0) // recover: re-arm
+	feed(m, obj, 72, 24, 0, 100) // burn again: second page
+	close(stop)
+	wg.Wait()
+
+	var pages int
+	for _, a := range m.Alerts() {
+		if a.Severity == "page" {
+			pages++
+		}
+	}
+	if pages != 2 {
+		t.Fatalf("want a second page after recovery under concurrent reads, got %d", pages)
 	}
 }
 

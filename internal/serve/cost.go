@@ -145,6 +145,9 @@ func drain(ctx context.Context, eng *sim.Engine) error {
 type CostTable struct {
 	maxBatch int
 	entries  map[string][]BatchCost
+	// steer holds the same grid measured on the QoS steer delegate;
+	// populated only when the config carries a QoS policy.
+	steer map[string][]BatchCost
 }
 
 // Cost returns the measured cost for a k-request batch of model.
@@ -152,6 +155,16 @@ func (t *CostTable) Cost(model string, k int) BatchCost {
 	row, ok := t.entries[model]
 	if !ok || k < 1 || k > len(row) {
 		panic(fmt.Sprintf("serve: no cost entry for %q batch %d", model, k))
+	}
+	return row[k-1]
+}
+
+// SteerCost returns the measured cost for a k-request batch of model on
+// the steer delegate.
+func (t *CostTable) SteerCost(model string, k int) BatchCost {
+	row, ok := t.steer[model]
+	if !ok || k < 1 || k > len(row) {
+		panic(fmt.Sprintf("serve: no steer cost entry for %q batch %d", model, k))
 	}
 	return row[k-1]
 }
@@ -167,6 +180,14 @@ func BuildCostTable(ctx context.Context, cfg Config, parallel int, onProgress fu
 	type key struct {
 		model string
 		k     int
+		steer bool
+	}
+	// The steer grid prices batches on the QoS steer delegate — the
+	// level-3 fail-over path — with the same per-entry seeds, so adding
+	// a policy never perturbs the primary grid.
+	steerCfg := cfg
+	if cfg.QoS != nil {
+		steerCfg.Delegate = cfg.QoS.SteerDelegate
 	}
 	var jobs []lab.Job
 	var keys []key
@@ -174,27 +195,44 @@ func BuildCostTable(ctx context.Context, cfg Config, parallel int, onProgress fu
 		m := m
 		for k := 1; k <= cfg.MaxBatch; k++ {
 			k := k
-			keys = append(keys, key{m.Name, k})
+			keys = append(keys, key{m.Name, k, false})
 			jobs = append(jobs, lab.Job{
 				ID: fmt.Sprintf("%s/b%d", m.Name, k),
 				Run: func(ctx context.Context) (any, error) {
 					return MeasureBatch(ctx, cfg, m, k)
 				},
 			})
+			if cfg.QoS != nil {
+				keys = append(keys, key{m.Name, k, true})
+				jobs = append(jobs, lab.Job{
+					ID: fmt.Sprintf("%s/steer/b%d", m.Name, k),
+					Run: func(ctx context.Context) (any, error) {
+						return MeasureBatch(ctx, steerCfg, m, k)
+					},
+				})
+			}
 		}
 	}
 	l := &lab.Lab{Parallelism: parallel, OnProgress: onProgress}
 	results := l.Run(ctx, jobs)
-	t := &CostTable{maxBatch: cfg.MaxBatch, entries: make(map[string][]BatchCost)}
+	t := &CostTable{
+		maxBatch: cfg.MaxBatch,
+		entries:  make(map[string][]BatchCost),
+		steer:    make(map[string][]BatchCost),
+	}
 	for i, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("serve: measuring %s: %w", r.ID, r.Err)
 		}
 		k := keys[i]
-		row := t.entries[k.model]
+		grid := t.entries
+		if k.steer {
+			grid = t.steer
+		}
+		row := grid[k.model]
 		if row == nil {
 			row = make([]BatchCost, cfg.MaxBatch)
-			t.entries[k.model] = row
+			grid[k.model] = row
 		}
 		row[k.k-1] = r.Value.(BatchCost)
 	}

@@ -15,6 +15,7 @@ import (
 	"aitax/internal/lab"
 	"aitax/internal/models"
 	"aitax/internal/obs"
+	"aitax/internal/qos"
 	"aitax/internal/telemetry"
 )
 
@@ -52,6 +53,15 @@ type Server struct {
 	queues map[string]*httpQueue
 	closed bool
 	wg     sync.WaitGroup
+	// qs is the brownout state (nil without a QoS policy), guarded by
+	// mu like the queues it gates; hot counts executing batches on the
+	// configured (heat-producing) delegate for the thermal tick's
+	// utilization sample.
+	qs       *qosState
+	hot      int
+	qosStop  chan struct{}
+	qosDone  chan struct{}
+	stopOnce sync.Once
 }
 
 type httpQueue struct {
@@ -109,6 +119,16 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	for _, m := range cfg.Models {
 		s.queues[m.Name] = &httpQueue{model: m}
+	}
+	if cfg.QoS != nil {
+		qs, err := newQOSState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.qs = qs
+		s.qosStop = make(chan struct{})
+		s.qosDone = make(chan struct{})
+		go s.qosLoop()
 	}
 	for _, ep := range endpointTask {
 		ep := ep
@@ -216,8 +236,53 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the server's registry (also served at /metrics).
 func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 
+// qosLoop drives the brownout controller on the wall clock: every tick
+// it samples executor utilization and queue occupancy, advances the
+// thermal model, and runs one ladder decision under the server mutex.
+func (s *Server) qosLoop() {
+	defer close(s.qosDone)
+	t := time.NewTicker(s.qs.ctl.Ladder().Tick)
+	defer t.Stop()
+	last := s.now()
+	for {
+		select {
+		case <-s.qosStop:
+			return
+		case <-t.C:
+			now := s.now()
+			dt := now - last
+			last = now
+			faultTrip := s.cfg.Faults.ThermalTripAt > 0 && now >= s.cfg.Faults.ThermalTripAt
+			s.mu.Lock()
+			util := float64(s.hot) / float64(s.cfg.Workers)
+			frac := 0.0
+			for _, q := range s.queues {
+				if f := float64(q.queued) / float64(s.cfg.QueueDepth); f > frac {
+					frac = f
+				}
+			}
+			tk := s.qs.step(now, dt, util, frac, faultTrip)
+			temp := s.qs.therm.TempC()
+			s.mu.Unlock()
+			s.metrics.Set("aitax_qos_level", float64(tk.Level))
+			s.metrics.Set("aitax_qos_temp_c", temp)
+			if tk.Changed {
+				s.metrics.Inc("aitax_qos_transitions_total")
+				s.rec.Add(now, telemetry.Labeled("qos_transitions", "to", strconv.Itoa(tk.Level)), 1)
+			}
+		}
+	}
+}
+
 // Close stops admitting requests and waits for in-flight batches.
-func (s *Server) Close() {
+func (s *Server) Close() { s.Shutdown(context.Background()) }
+
+// Shutdown drains the server gracefully: admission immediately starts
+// answering 503 with a Retry-After, every open micro-batch window is
+// flushed so queued requests still get served, and in-flight batches
+// have until ctx's deadline to complete. It returns ctx.Err() if the
+// drain deadline expires first (batches then finish in the background).
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	for _, q := range s.queues {
@@ -228,7 +293,25 @@ func (s *Server) Close() {
 		s.flushLocked(q)
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.stopOnce.Do(func() {
+		if s.qosStop != nil {
+			close(s.qosStop)
+		}
+	})
+	if s.qosDone != nil {
+		<-s.qosDone
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // inferRequest is the request body of the inference endpoints.
@@ -236,6 +319,10 @@ type inferRequest struct {
 	// Model is the Table-I model name; empty picks the endpoint's
 	// default (the first loaded model of the endpoint's task).
 	Model string `json:"model"`
+	// Class is the request's QoS class: "interactive", "standard"
+	// (default) or "best-effort". Under brownout, best-effort traffic is
+	// shed first.
+	Class string `json:"class"`
 }
 
 // inferResponse reports the request's fate and its AI-tax accounting.
@@ -254,6 +341,9 @@ type inferResponse struct {
 	// TaxMS is queue wait plus this request's share of the batch's
 	// pipeline tax and dispatch overhead.
 	TaxMS float64 `json:"tax_ms"`
+	// ServedBy, when set, is the cheaper model the brownout controller
+	// downshifted this request to.
+	ServedBy string `json:"served_by,omitempty"`
 }
 
 type errorResponse struct {
@@ -312,6 +402,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
+	cls, err := qos.ParseClass(req.Class)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	s.metrics.Inc(telemetry.Labeled("aitax_serve_requests_total", "model", m.Name))
 	arrival := s.now()
 	s.rec.Add(arrival, obs.OfferedSeries(m.Name), 1)
@@ -321,10 +416,37 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Draining: tell clients when to come back, not just to go away.
+		w.Header().Set("Retry-After", s.retryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
 		return
 	}
-	q := s.queues[m.Name]
+	// Brownout rung 1: shed best-effort traffic at admission. The shed
+	// outcome is not fed into the controller's burn signal.
+	if s.qs != nil && s.qs.ctl.Shed(cls) {
+		s.qs.deg.Shed[cls]++
+		s.mu.Unlock()
+		s.metrics.Inc(telemetry.Labeled("aitax_qos_shed_total", "class", cls.String()))
+		s.rec.Add(arrival, obs.ShedSeries(m.Name), 1)
+		s.rec.Add(arrival, obs.ShedSeries(obs.AllModels), 1)
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: fmt.Sprintf("shedding %s traffic under load; retry later", cls),
+		})
+		return
+	}
+	// Brownout rung 2: serve the request with its cheaper fallback.
+	served := m
+	if s.qs != nil && s.qs.ctl.Downshift() {
+		if to, ok := s.cfg.QoS.Downshift[m.Name]; ok {
+			if tm, loaded := s.cfg.modelByName(to); loaded {
+				served = tm
+				s.qs.deg.Downshifted++
+				s.metrics.Inc(telemetry.Labeled("aitax_qos_downshift_total", "model", m.Name))
+			}
+		}
+	}
+	q := s.queues[served.Name]
 	if q.queued >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.metrics.Inc(telemetry.Labeled("aitax_serve_rejected_total", "model", m.Name))
@@ -335,14 +457,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 				s.rec.Add(arrival, obs.BadSeries(obj), 1)
 			}
 		}
+		if s.qs != nil {
+			for _, obj := range s.cfg.SLO {
+				if covered, _ := obj.Match(m.Name, 0, true); covered {
+					s.mu.Lock()
+					s.qs.ctl.ObserveBad()
+					s.mu.Unlock()
+					break
+				}
+			}
+		}
 		w.Header().Set("Retry-After", s.retryAfter)
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{
-			Error: fmt.Sprintf("queue for %q is full (depth %d); retry later", m.Name, s.cfg.QueueDepth),
+			Error: fmt.Sprintf("queue for %q is full (depth %d); retry later", served.Name, s.cfg.QueueDepth),
 		})
 		return
 	}
 	q.queued++
-	s.rec.Observe(arrival, obs.DepthSeries(m.Name), float64(q.queued))
+	s.rec.Observe(arrival, obs.DepthSeries(served.Name), float64(q.queued))
 	q.pending = append(q.pending, hr)
 	switch {
 	case len(q.pending) >= s.cfg.MaxBatch:
@@ -371,17 +503,45 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, task models
 		}
 		s.recordServed(m.Name, done)
 		k := time.Duration(done.batch)
-		writeJSON(w, http.StatusOK, inferResponse{
+		resp := inferResponse{
 			Model:     m.Name,
 			Batch:     done.batch,
 			QueueMS:   ms(done.wait),
 			ServiceMS: ms(s.cfg.DispatchCost + done.cost.Service),
 			InferMS:   ms(done.cost.Infer / k),
 			TaxMS:     ms(done.wait + (done.cost.Tax+s.cfg.DispatchCost)/k),
-		})
+		}
+		if served != m {
+			resp.ServedBy = served.Name
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case <-r.Context().Done():
-		// Client gone; the buffered channel lets the batch finish
-		// without leaking the executor goroutine.
+		// Deadline propagation: if the request is still queued, pull it
+		// out before dispatch so the batch never pays for a client that
+		// left — it counts as cancelled, not served. If it already
+		// flushed, the buffered channel lets the batch finish without
+		// leaking the executor goroutine.
+		s.mu.Lock()
+		removed := false
+		for i, p := range q.pending {
+			if p == hr {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				q.queued--
+				removed = true
+				break
+			}
+		}
+		if removed && len(q.pending) == 0 && q.timer != nil {
+			q.timer.Stop()
+			q.timer = nil
+		}
+		s.mu.Unlock()
+		if removed {
+			at := s.now()
+			s.metrics.Inc(telemetry.Labeled("aitax_serve_cancelled_total", "model", m.Name))
+			s.rec.Add(at, obs.CancelledSeries(m.Name), 1)
+			s.rec.Add(at, obs.CancelledSeries(obs.AllModels), 1)
+		}
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client cancelled"})
 	}
 }
@@ -408,21 +568,54 @@ func (s *Server) execute(q *httpQueue, batch []*httpReq) {
 	defer func() { <-s.sem }()
 
 	start := time.Now()
+	// Brownout rung 3 and DVFS: decide steering and sample the throttle
+	// at pickup, under the same mutex the controller ticks under.
+	cfg := s.cfg
+	steered := false
+	factor := 1.0
 	s.mu.Lock()
 	q.queued -= len(batch)
+	if s.qs != nil {
+		if s.qs.ctl.Steer() {
+			steered = true
+			cfg.Delegate = s.cfg.QoS.SteerDelegate
+			s.qs.deg.SteeredBatches++
+		} else {
+			factor = s.qs.therm.ThrottleFactor()
+			if factor < 1 {
+				s.qs.deg.ThrottledBatches++
+			}
+			s.hot++
+		}
+	}
 	s.mu.Unlock()
+	if steered {
+		s.metrics.Inc("aitax_qos_steered_batches_total")
+	} else if factor < 1 {
+		s.metrics.Inc("aitax_qos_throttled_batches_total")
+	}
 
 	k := len(batch)
 	results := s.lab.Run(context.Background(), []lab.Job{{
 		ID: fmt.Sprintf("%s/b%d", q.model.Name, k),
 		Run: func(ctx context.Context) (any, error) {
-			return MeasureBatch(ctx, s.cfg, q.model, k)
+			return MeasureBatch(ctx, cfg, q.model, k)
 		},
 	}})
+	if !steered && s.qs != nil {
+		s.mu.Lock()
+		s.hot--
+		s.mu.Unlock()
+	}
 	res := results[0]
 	var cost BatchCost
 	if res.Err == nil {
 		cost = res.Value.(BatchCost)
+		if factor < 1 {
+			// The hot die runs the batch slower; the stretch is thermal
+			// tax every rider's latency carries.
+			cost.Service = time.Duration(float64(cost.Service) / factor)
+		}
 		s.metrics.Observe(telemetry.Labeled("aitax_serve_service_ms", "model", q.model.Name),
 			ms(s.cfg.DispatchCost+cost.Service))
 	}
@@ -461,16 +654,28 @@ func (s *Server) recordServed(model string, done httpDone) {
 	s.rec.Add(at, obs.StageSeries("rpc"), ms(o.RPC))
 	s.rec.Add(at, obs.StageSeries("infer"), ms(o.KernelExec()))
 	s.rec.Add(at, obs.StageSeries("post"), ms(o.Post))
+	anyCovered, anyBreached := false, false
 	for _, obj := range s.cfg.SLO {
 		covered, breached := obj.Match(model, lat, false)
 		if !covered {
 			continue
 		}
+		anyCovered = true
 		if breached {
+			anyBreached = true
 			s.rec.Add(at, obs.BadSeries(obj), 1)
 		} else {
 			s.rec.Add(at, obs.GoodSeries(obj), 1)
 		}
+	}
+	if s.qs != nil && anyCovered {
+		s.mu.Lock()
+		if anyBreached {
+			s.qs.ctl.ObserveBad()
+		} else {
+			s.qs.ctl.ObserveGood()
+		}
+		s.mu.Unlock()
 	}
 }
 

@@ -40,6 +40,7 @@ const (
 	evReject
 	evFinish
 	evStart
+	evShed
 )
 
 // BuildSimObs replays a finished simulation into the streaming
@@ -74,6 +75,10 @@ func BuildSimObs(cfg Config, res *SimResult, window time.Duration, objectives []
 
 	events := make([]obsEvent, 0, 4*len(res.Outcomes))
 	for i, o := range res.Outcomes {
+		if o.Shed {
+			events = append(events, obsEvent{o.Arrival.Duration(), evShed, i})
+			continue
+		}
 		if o.Rejected {
 			events = append(events, obsEvent{o.Arrival.Duration(), evReject, i})
 			continue
@@ -112,6 +117,19 @@ func BuildSimObs(cfg Config, res *SimResult, window time.Duration, objectives []
 			rec.Add(ev.at, obs.OfferedSeries(obs.AllModels), 1)
 			rec.Add(ev.at, obs.RejectedSeries(o.Model), 1)
 			rec.Add(ev.at, obs.RejectedSeries(obs.AllModels), 1)
+			for _, obj := range objectives {
+				if covered, _ := obj.Match(o.Model, 0, true); covered {
+					rec.Add(ev.at, obs.BadSeries(obj), 1)
+				}
+			}
+		case evShed:
+			// A shed request was offered and turned away on purpose; it
+			// still burns any objective covering its model — shedding is
+			// honest about the traffic it sacrifices.
+			rec.Add(ev.at, obs.OfferedSeries(o.Model), 1)
+			rec.Add(ev.at, obs.OfferedSeries(obs.AllModels), 1)
+			rec.Add(ev.at, obs.ShedSeries(o.Model), 1)
+			rec.Add(ev.at, obs.ShedSeries(obs.AllModels), 1)
 			for _, obj := range objectives {
 				if covered, _ := obj.Match(o.Model, 0, true); covered {
 					rec.Add(ev.at, obs.BadSeries(obj), 1)

@@ -32,6 +32,7 @@ type modelAgg struct {
 	offered   int
 	served    int
 	rejected  int
+	shed      int
 	batches   int
 	latencies []time.Duration
 	infer     time.Duration
@@ -44,6 +45,10 @@ type modelAgg struct {
 
 func (a *modelAgg) add(o Outcome) {
 	a.offered++
+	if o.Shed {
+		a.shed++
+		return
+	}
 	if o.Rejected {
 		a.rejected++
 		return
@@ -142,5 +147,8 @@ func (r *SimResult) Report(cfg Config, rampDesc string) string {
 		rejPct = 100 * float64(all.rejected) / float64(all.offered)
 	}
 	fmt.Fprintf(&b, "\nadmission: %d of %d rejected (%.1f%%)\n", all.rejected, all.offered, rejPct)
+	if r.Degradation != nil {
+		r.writeDegradation(&b, cfg)
+	}
 	return b.String()
 }

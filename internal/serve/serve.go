@@ -76,6 +76,11 @@ type Config struct {
 	// the obs default, 250ms) — virtual time in the simulator, wall
 	// clock in the HTTP frontend.
 	ObsWindow time.Duration
+	// QoS, when non-nil, puts the brownout controller behind the
+	// harness: QoS-class shedding, model downshift and thermal-aware
+	// delegate steering under pressure. Requires SLO objectives (the
+	// controller's burn signal).
+	QoS *QoSPolicy
 }
 
 // DefaultModels returns the standard serving set: one model per
@@ -113,6 +118,9 @@ func (c Config) Defaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 16
 	}
+	if c.QoS != nil {
+		c.QoS = c.QoS.withDefaults()
+	}
 	return c
 }
 
@@ -141,6 +149,11 @@ func (c Config) Validate() error {
 	}
 	if c.DispatchCost < 0 {
 		return fmt.Errorf("serve: dispatch cost must be non-negative, got %v", c.DispatchCost)
+	}
+	if c.QoS != nil {
+		if err := c.validateQoS(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

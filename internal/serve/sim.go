@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aitax/internal/loadgen"
+	"aitax/internal/qos"
 	"aitax/internal/sim"
 	"aitax/internal/telemetry"
 )
@@ -25,6 +26,16 @@ type Outcome struct {
 	Finished sim.Time
 	// Rejected marks an arrival turned away by admission control.
 	Rejected bool
+	// Class is the request's QoS class (Standard when undeclared).
+	Class qos.Class
+	// Shed marks an arrival turned away by the brownout controller's
+	// class shedding (distinct from a queue-full rejection).
+	Shed bool
+	// ServedAs, when non-empty, is the cheaper model the brownout
+	// controller downshifted this request to.
+	ServedAs string
+	// Steered marks a request whose batch ran on the steer delegate.
+	Steered bool
 	// BatchSize is the size of the batch that served the request.
 	BatchSize int
 	// Infer is the request's share of the batch's inference time — the
@@ -110,6 +121,9 @@ type SimResult struct {
 	Metrics *telemetry.Registry
 	// Depth samples every admitted-queue depth change (traced runs).
 	Depth []DepthSample
+	// Degradation is the brownout controller's run accounting, nil when
+	// the config carried no QoS policy.
+	Degradation *Degradation
 }
 
 // simQueue is one model's serving state inside the simulator.
@@ -150,6 +164,13 @@ type simulator struct {
 	free    int         // idle executors
 	depth   []DepthSample
 	traced  bool
+	// qs is the brownout state (nil without a QoS policy); remaining
+	// counts arrivals not yet resolved and active the batches in
+	// service — together they bound the controller's self-rescheduling
+	// decision tick so the event queue drains.
+	qs        *qosState
+	remaining int
+	active    int
 }
 
 // Simulate replays the arrival schedule against the serving policy in
@@ -171,6 +192,13 @@ func Simulate(cfg Config, table *CostTable, arrivals []loadgen.Arrival, traced b
 	if traced {
 		s.tracer = telemetry.NewTracer(s.eng.Now)
 	}
+	if cfg.QoS != nil {
+		qs, err := newQOSState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.qs = qs
+	}
 	for _, m := range cfg.Models {
 		q := &simQueue{name: m.Name}
 		s.queues[m.Name] = q
@@ -181,10 +209,18 @@ func Simulate(cfg Config, table *CostTable, arrivals []loadgen.Arrival, traced b
 		if _, ok := s.queues[a.Model]; !ok {
 			return nil, fmt.Errorf("serve: arrival %d asks for %q, not in the loaded set", a.ID, a.Model)
 		}
-		r := &simReq{out: Outcome{ID: a.ID, Model: a.Model}}
+		cls, err := qos.ParseClass(a.Class)
+		if err != nil {
+			return nil, fmt.Errorf("serve: arrival %d: %w", a.ID, err)
+		}
+		r := &simReq{out: Outcome{ID: a.ID, Model: a.Model, Class: cls}}
 		reqs[i] = r
 		at := sim.Time(a.At)
 		s.eng.Schedule(at, func() { s.arrive(r) })
+	}
+	s.remaining = len(arrivals)
+	if s.qs != nil && s.remaining > 0 {
+		s.armTick()
 	}
 	s.eng.Run()
 	res := &SimResult{
@@ -202,7 +238,77 @@ func Simulate(cfg Config, table *CostTable, arrivals []loadgen.Arrival, traced b
 	if s.tracer != nil {
 		res.Spans, res.Flows = s.tracer.Spans(), s.tracer.Flows()
 	}
+	if s.qs != nil {
+		res.Degradation = s.qs.finish()
+	}
 	return res, nil
+}
+
+// armTick schedules the next brownout decision.
+func (s *simulator) armTick() {
+	s.qs.tickArmed = true
+	s.qs.tickID = s.eng.After(s.qs.ctl.Ladder().Tick, s.qosTick)
+}
+
+// maybeDisarmTick cancels the pending decision tick once no work
+// remains, so the engine's queue drains — the simulation ends at the
+// last request's completion, not at some later tick.
+func (s *simulator) maybeDisarmTick() {
+	if s.qs != nil && s.qs.tickArmed && s.remaining == 0 && s.active == 0 {
+		s.eng.Cancel(s.qs.tickID)
+		s.qs.tickArmed = false
+	}
+}
+
+// accrueBusy integrates the hot-delegate busy level up to now, for the
+// thermal model's utilization input.
+func (s *simulator) accrueBusy(now sim.Time) {
+	dt := now.Sub(s.qs.lastBusy)
+	if dt > 0 {
+		s.qs.busyInt += time.Duration(s.qs.hot) * dt
+	}
+	s.qs.lastBusy = now
+}
+
+// queueFrac is the fullest admission queue's occupancy in [0, 1].
+func (s *simulator) queueFrac() float64 {
+	max := 0
+	for _, q := range s.order {
+		if q.queued > max {
+			max = q.queued
+		}
+	}
+	return float64(max) / float64(s.cfg.QueueDepth)
+}
+
+// qosTick runs one brownout decision on the virtual clock.
+func (s *simulator) qosTick() {
+	qs := s.qs
+	qs.tickArmed = false
+	now := s.eng.Now()
+	dt := now.Sub(qs.lastTick)
+	qs.lastTick = now
+	s.accrueBusy(now)
+	util := 0.0
+	if dt > 0 {
+		util = float64(qs.busyInt) / (float64(dt) * float64(s.cfg.Workers))
+	}
+	qs.busyInt = 0
+	faultTrip := s.cfg.Faults.ThermalTripAt > 0 && now.Duration() >= s.cfg.Faults.ThermalTripAt
+	t := qs.step(now.Duration(), dt, util, s.queueFrac(), faultTrip)
+	s.metrics.Set("aitax_qos_level", float64(t.Level))
+	s.metrics.Set("aitax_qos_temp_c", qs.therm.TempC())
+	if t.Changed {
+		s.metrics.Inc("aitax_qos_transitions_total")
+		if s.tracer != nil {
+			sp := s.tracer.Instant(fmt.Sprintf("qos L%d->L%d", t.From, t.Level), "qos", telemetry.TrackCPU, nil, now)
+			sp.SetAttr("driver", t.Driver)
+			sp.SetAttr("pressure", fmt.Sprintf("%.2f", t.Pressure))
+		}
+	}
+	if s.remaining > 0 || s.active > 0 {
+		s.armTick()
+	}
 }
 
 func (s *simulator) sampleDepth(q *simQueue) {
@@ -213,18 +319,51 @@ func (s *simulator) sampleDepth(q *simQueue) {
 
 // arrive runs admission control and batch formation for one request.
 func (s *simulator) arrive(r *simReq) {
-	q := s.queues[r.out.Model]
+	name := r.out.Model
 	now := s.eng.Now()
 	r.out.Arrival = now
-	s.metrics.Inc(telemetry.Labeled("aitax_serve_requests_total", "model", q.name))
-	if q.queued >= s.cfg.QueueDepth {
-		r.out.Rejected = true
-		s.metrics.Inc(telemetry.Labeled("aitax_serve_rejected_total", "model", q.name))
+	s.metrics.Inc(telemetry.Labeled("aitax_serve_requests_total", "model", name))
+	// Brownout rung 1: shed best-effort traffic at admission. Shed
+	// outcomes are not fed back into the controller's burn signal — its
+	// own action must not hold its pressure up.
+	if s.qs != nil && s.qs.ctl.Shed(r.out.Class) {
+		r.out.Shed = true
+		s.qs.deg.Shed[r.out.Class]++
+		s.metrics.Inc(telemetry.Labeled("aitax_qos_shed_total", "class", r.out.Class.String()))
 		if s.tracer != nil {
-			sp := s.tracer.Instant("reject", "serve", telemetry.TrackCPU, nil, now)
-			sp.SetAttr("model", q.name)
+			sp := s.tracer.Instant("shed", "qos", telemetry.TrackCPU, nil, now)
+			sp.SetAttr("model", name)
+			sp.SetAttr("class", r.out.Class.String())
 			sp.SetAttr("request", strconv.Itoa(r.out.ID))
 		}
+		s.remaining--
+		s.maybeDisarmTick()
+		return
+	}
+	// Brownout rung 2: rewrite the request onto its cheaper fallback
+	// model's queue; it batches, prices and serves as that model.
+	q := s.queues[name]
+	if s.qs != nil && s.qs.ctl.Downshift() {
+		if to, ok := s.cfg.QoS.Downshift[name]; ok {
+			r.out.ServedAs = to
+			q = s.queues[to]
+			s.qs.deg.Downshifted++
+			s.metrics.Inc(telemetry.Labeled("aitax_qos_downshift_total", "model", name))
+		}
+	}
+	if q.queued >= s.cfg.QueueDepth {
+		r.out.Rejected = true
+		s.metrics.Inc(telemetry.Labeled("aitax_serve_rejected_total", "model", name))
+		if s.qs != nil && s.sloCovers(name) {
+			s.qs.ctl.ObserveBad()
+		}
+		if s.tracer != nil {
+			sp := s.tracer.Instant("reject", "serve", telemetry.TrackCPU, nil, now)
+			sp.SetAttr("model", name)
+			sp.SetAttr("request", strconv.Itoa(r.out.ID))
+		}
+		s.remaining--
+		s.maybeDisarmTick()
 		return
 	}
 	q.queued++
@@ -256,6 +395,37 @@ func (s *simulator) arrive(r *simReq) {
 	}
 }
 
+// sloCovers reports whether any configured objective covers model.
+func (s *simulator) sloCovers(model string) bool {
+	for _, obj := range s.cfg.SLO {
+		if covered, _ := obj.Match(model, 0, true); covered {
+			return true
+		}
+	}
+	return false
+}
+
+// observeOutcome feeds one served request's SLO verdict into the
+// controller's burn signal, scored against the model the client asked
+// for (a downshifted request that meets the requested model's objective
+// is a good outcome — that is the point of downshifting).
+func (s *simulator) observeOutcome(model string, latency time.Duration) {
+	covered, breached := false, false
+	for _, obj := range s.cfg.SLO {
+		c, b := obj.Match(model, latency, false)
+		covered = covered || c
+		breached = breached || b
+	}
+	if !covered {
+		return
+	}
+	if breached {
+		s.qs.ctl.ObserveBad()
+	} else {
+		s.qs.ctl.ObserveGood()
+	}
+}
+
 // flush closes the open batch and hands it to the executor pool.
 func (s *simulator) flush(q *simQueue) {
 	if len(q.pending) == 0 {
@@ -280,18 +450,46 @@ func (s *simulator) dispatch() {
 		b := s.ready[0]
 		s.ready = s.ready[1:]
 		s.free--
+		s.active++
 		now := s.eng.Now()
 		k := len(b.reqs)
-		cost := s.table.Cost(b.q.name, k)
+		// Brownout rung 3: steer the batch off the hot delegate. A
+		// steered batch is priced from the steer cost table, does not
+		// heat the die, and escapes DVFS throttling; a non-steered batch
+		// on a hot die is stretched by the throttle factor — that
+		// stretch lands in every rider's latency, and therefore in its
+		// tax (DVFS is AI tax the thermal model charges).
+		steered := s.qs != nil && s.qs.ctl.Steer()
+		var cost BatchCost
+		if steered {
+			cost = s.table.SteerCost(b.q.name, k)
+			s.qs.deg.SteeredBatches++
+			s.metrics.Inc("aitax_qos_steered_batches_total")
+		} else {
+			cost = s.table.Cost(b.q.name, k)
+		}
 		service := s.cfg.DispatchCost + cost.Service
+		if s.qs != nil && !steered {
+			if f := s.qs.therm.ThrottleFactor(); f < 1 {
+				service = s.cfg.DispatchCost + time.Duration(float64(cost.Service)/f)
+				s.qs.deg.ThrottledBatches++
+				s.metrics.Inc("aitax_qos_throttled_batches_total")
+			}
+			s.accrueBusy(now)
+			s.qs.hot++
+		}
 		var span *telemetry.ActiveSpan
 		if s.tracer != nil {
 			span = s.tracer.Start("batch", "serve", telemetry.TrackCPU, nil)
 			span.SetAttr("model", b.q.name)
 			span.SetAttr("size", strconv.Itoa(k))
+			if steered {
+				span.SetAttr("steered", "true")
+			}
 		}
 		for _, r := range b.reqs {
 			r.out.Started = now
+			r.out.Steered = steered
 			b.q.queued--
 			if r.wait != nil {
 				r.wait.End()
@@ -299,17 +497,21 @@ func (s *simulator) dispatch() {
 		}
 		s.sampleDepth(b.q)
 		s.eng.After(service, func() {
-			s.complete(b, cost, span)
+			s.complete(b, cost, steered, span)
 		})
 	}
 }
 
 // complete finishes a batch: per-request accounting, executor release.
-func (s *simulator) complete(b *simBatch, cost BatchCost, span *telemetry.ActiveSpan) {
+func (s *simulator) complete(b *simBatch, cost BatchCost, steered bool, span *telemetry.ActiveSpan) {
 	now := s.eng.Now()
 	k := len(b.reqs)
 	if span != nil {
 		span.End()
+	}
+	if s.qs != nil && !steered {
+		s.accrueBusy(now)
+		s.qs.hot--
 	}
 	for _, r := range b.reqs {
 		r.out.Finished = now
@@ -327,7 +529,13 @@ func (s *simulator) complete(b *simBatch, cost BatchCost, span *telemetry.Active
 		s.metrics.Observe(telemetry.Labeled("aitax_serve_latency_ms", "model", b.q.name), ms)
 		s.metrics.Observe(telemetry.Labeled("aitax_serve_tax_ms", "model", b.q.name),
 			float64(r.out.Tax())/float64(time.Millisecond))
+		if s.qs != nil {
+			s.observeOutcome(r.out.Model, r.out.Latency())
+		}
+		s.remaining--
 	}
 	s.free++
+	s.active--
 	s.dispatch()
+	s.maybeDisarmTick()
 }

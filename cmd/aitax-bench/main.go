@@ -11,6 +11,7 @@
 //	aitax-bench -list
 //	aitax-bench -parse bench_output.txt -out BENCH_2026-08-05.json
 //	aitax-bench -compare old.json new.json          # exit 1 on >10% regression
+//	aitax-bench -compare -wall old.json new.json    # wall gate (multi-iteration runs)
 package main
 
 import (
@@ -66,6 +67,8 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON reports (old.json new.json); exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.10, "with -compare: allowed fractional growth in ns/op or allocs/op")
 	allocsOnly := flag.Bool("allocs-only", false, "with -compare: gate only zero-alloc benchmarks (baseline 0 allocs/op must stay 0; for 1-iteration smoke runs)")
+	wall := flag.Bool("wall", false, "with -compare: wall-time gate for multi-iteration runs (skip 1-iteration entries, apply -ns-floor; allocs gated too)")
+	nsFloor := flag.Float64("ns-floor", 5000, "with -compare -wall: ignore ns/op regressions on benchmarks faster than this (noise floor, ns/op)")
 	flag.Parse()
 
 	if *list {
@@ -82,7 +85,10 @@ func main() {
 		if flag.NArg() != 2 {
 			check(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
 		}
-		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocsOnly)
+		if *allocsOnly && *wall {
+			check(fmt.Errorf("-allocs-only and -wall are mutually exclusive compare modes"))
+		}
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocsOnly, *wall, *nsFloor)
 		check(err)
 		if !ok {
 			os.Exit(1)
@@ -166,8 +172,11 @@ func runParse(in, out, date string) error {
 // least one benchmark regressed beyond the threshold. With allocsOnly,
 // only a zero-alloc benchmark gaining allocations fails the gate (the
 // mode CI's 1-iteration smoke run uses, where wall time and warm-up
-// alloc counts are noise but 0 → n allocs is exact).
-func runCompare(oldPath, newPath string, threshold float64, allocsOnly bool) (bool, error) {
+// alloc counts are noise but 0 → n allocs is exact). With wall, the
+// multi-iteration wall-time gate runs instead: 1-iteration entries are
+// skipped, ns/op below nsFloor is reported but not judged, and allocs
+// growth is gated everywhere (exact at steady state).
+func runCompare(oldPath, newPath string, threshold float64, allocsOnly, wall bool, nsFloor float64) (bool, error) {
 	readReport := func(p string) (*benchfmt.Report, error) {
 		f, err := os.Open(p)
 		if err != nil {
@@ -186,10 +195,14 @@ func runCompare(oldPath, newPath string, threshold float64, allocsOnly bool) (bo
 	}
 	var c *benchfmt.Comparison
 	mode := ""
-	if allocsOnly {
+	switch {
+	case allocsOnly:
 		c = benchfmt.CompareAllocs(oldRep, newRep, threshold)
 		mode = " (allocs only)"
-	} else {
+	case wall:
+		c = benchfmt.CompareWall(oldRep, newRep, threshold, nsFloor)
+		mode = fmt.Sprintf(" (wall gate, noise floor %.0f ns/op)", nsFloor)
+	default:
 		c = benchfmt.Compare(oldRep, newRep, threshold)
 	}
 	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%%s\n",

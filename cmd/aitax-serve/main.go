@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	watch := fs.Bool("watch", false, "terminal dashboard: end-of-run snapshot in -loadgen mode, periodic refresh in server mode")
 	obsOut := fs.String("obs", "", "write per-window time-series rows (JSONL) to this file (-loadgen mode)")
 	obsWindow := fs.Duration("obs-window", 0, "streaming recorder window (default 250ms)")
+	prewarm := fs.Bool("prewarm", false, "compile all serving plans (and warm server telemetry) before taking traffic; the cold-start tax moved to startup is reported on stderr")
 	common := cli.Register(fs, cli.Options{
 		Trace: true, Metrics: true, Faults: true, Parallel: true, Progress: true,
 	})
@@ -131,9 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *loadMode {
-		return runLoad(cfg, *ramp, *mix, *seed, *watch, *obsOut, common, stdout, stderr)
+		return runLoad(cfg, *ramp, *mix, *seed, *watch, *obsOut, *prewarm, common, stdout, stderr)
 	}
-	return runServer(cfg, *addr, *watch, *drainTimeout, stderr)
+	return runServer(cfg, *addr, *watch, *prewarm, *drainTimeout, stderr)
 }
 
 // buildQoSPolicy assembles the brownout policy from its flags.
@@ -206,7 +207,7 @@ func buildConfig(platform, dtype, delegate, entry, modelList string,
 
 // runLoad runs the virtual-time load simulation and prints its report.
 func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
-	watch bool, obsOut string, common *cli.Common, stdout, stderr io.Writer) int {
+	watch bool, obsOut string, prewarm bool, common *cli.Common, stdout, stderr io.Writer) int {
 	phases, err := loadgen.ParseRamp(ramp)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -228,6 +229,19 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+
+	if prewarm {
+		// Warm the plan cache before the cost-table pass so its measured
+		// walls reflect steady-state serving, not first-compile outliers.
+		// The report goes to stderr: the stdout load report is a pure
+		// function of virtual time and stays byte-identical either way.
+		rep, err := serve.PrewarmConfig(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "prewarm: %s\n", rep)
 	}
 
 	var onProgress func(lab.JobResult)
@@ -354,11 +368,19 @@ func runLoad(cfg serve.Config, ramp, mixSpec string, seed uint64,
 // open micro-batch windows flush so queued requests still get served,
 // and in-flight batches have drainTimeout to complete. With watch set
 // it re-renders the live dashboard to stderr every two seconds.
-func runServer(cfg serve.Config, addr string, watch bool, drainTimeout time.Duration, stderr io.Writer) int {
+func runServer(cfg serve.Config, addr string, watch, prewarm bool, drainTimeout time.Duration, stderr io.Writer) int {
 	s, err := serve.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if prewarm {
+		rep, err := s.Prewarm(context.Background())
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "prewarm: %s\n", rep)
 	}
 	fmt.Fprintf(stderr, "aitax-serve listening on %s (%s, %s, %s)\n",
 		addr, cfg.Platform.Name, cfg.Delegate, cfg.DType)

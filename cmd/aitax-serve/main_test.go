@@ -2,11 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"aitax"
+	"aitax/internal/app"
+	"aitax/internal/models"
+	"aitax/internal/plan"
+	"aitax/internal/serve"
+	"aitax/internal/tensor"
+	"aitax/internal/tflite"
 )
 
 func TestGoldenLoadReportAtAnyParallelism(t *testing.T) {
@@ -304,5 +315,101 @@ func TestBadFlagsFailCleanly(t *testing.T) {
 		if errb.Len() == 0 {
 			t.Errorf("run(%v) failed silently", args)
 		}
+	}
+}
+
+// firstRequest boots a server for cfg (optionally prewarmed), fires one
+// classification request at it, and returns the request's wall-clock
+// latency plus the plan-compile time and plan-cache misses it incurred.
+func firstRequest(t *testing.T, cfg serve.Config, prewarm bool) (lat, compile time.Duration, misses int64) {
+	t.Helper()
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if prewarm {
+		rep, err := s.Prewarm(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Entries == 0 || rep.Compile <= 0 {
+			t.Fatalf("prewarm report %+v claims no tax was moved to startup", rep)
+		}
+	}
+	compile0 := plan.Shared.CompileTime()
+	_, misses0, _ := plan.Shared.Stats()
+	req := httptest.NewRequest("POST", "/v1/classify", strings.NewReader(`{}`))
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	s.Handler().ServeHTTP(rec, req)
+	lat = time.Since(start)
+	if rec.Code != 200 {
+		t.Fatalf("first request failed: %d %s", rec.Code, rec.Body.String())
+	}
+	_, misses1, _ := plan.Shared.Stats()
+	return lat, plan.Shared.CompileTime() - compile0, misses1 - misses0
+}
+
+// TestPrewarmEliminatesFirstRequestPlanTax compares the first request's
+// latency anatomy before and after -prewarm: cold, the first request
+// pays plan compilation (nonzero compile time, nonzero cache misses);
+// prewarmed, that component is exactly zero — the tax moved to startup
+// and was priced in the prewarm report. The two sides run on platforms
+// no other test in this binary touches, so the shared cache is provably
+// cold where the test needs it to be.
+func TestPrewarmEliminatesFirstRequestPlanTax(t *testing.T) {
+	mkCfg := func(platform string) serve.Config {
+		p, err := aitax.PlatformByName(platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := models.ByName("MobileNet 1.0 v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := serve.Config{
+			Platform: p, DType: tensor.Float32, Delegate: tflite.DelegateGPU,
+			Models: []*models.Model{m}, Entry: app.StagePre,
+			Workers: 1, MaxBatch: 1, QueueDepth: 4, Seed: 7,
+		}
+		cfg = cfg.Defaults()
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+
+	coldLat, coldCompile, coldMisses := firstRequest(t, mkCfg("Snapdragon 855 HDK"), false)
+	if coldCompile <= 0 || coldMisses == 0 {
+		t.Fatalf("cold first request paid %v compile over %d misses; expected nonzero plan tax", coldCompile, coldMisses)
+	}
+	warmLat, warmCompile, warmMisses := firstRequest(t, mkCfg("Snapdragon 865 HDK"), true)
+	if warmCompile != 0 || warmMisses != 0 {
+		t.Fatalf("prewarmed first request still paid %v compile over %d misses, want zero", warmCompile, warmMisses)
+	}
+	t.Logf("first-request latency: cold %v (plan compile %v, %d misses) -> prewarmed %v (compile 0)",
+		coldLat, coldCompile, coldMisses, warmLat)
+}
+
+// TestPrewarmFlagKeepsReportByteIdentical pins that -prewarm only moves
+// host-side work: the loadgen stdout report is byte-identical with and
+// without it, and the prewarm accounting lands on stderr.
+func TestPrewarmFlagKeepsReportByteIdentical(t *testing.T) {
+	base := []string{"-loadgen", "-ramp", "40x250ms", "-seed", "9"}
+	var plain, plainErr bytes.Buffer
+	if code := run(base, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run failed:\n%s", plainErr.String())
+	}
+	var warmed, warmedErr bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-prewarm"), &warmed, &warmedErr); code != 0 {
+		t.Fatalf("prewarmed run failed:\n%s", warmedErr.String())
+	}
+	if plain.String() != warmed.String() {
+		t.Fatalf("-prewarm perturbed the load report\n--- plain ---\n%s\n--- prewarmed ---\n%s",
+			plain.String(), warmed.String())
+	}
+	if !strings.Contains(warmedErr.String(), "prewarm: compiled") {
+		t.Fatalf("prewarm accounting missing from stderr:\n%s", warmedErr.String())
 	}
 }

@@ -1,0 +1,82 @@
+// Package arena provides a chunked slab allocator for cold-path object
+// batches: graph builds, plan compilation and framework bring-up
+// allocate thousands of small, identically-typed, identically-lived
+// objects, and the Go allocator charges one heap object (plus GC scan
+// work) for each. A Slab hands out objects from pre-sized chunks, so a
+// whole batch costs a handful of allocations instead of thousands.
+//
+// Lifecycle contract: a slab OWNS every object it ever handed out. The
+// owner of the enclosing structure (a Graph owns its op slab, a
+// compiled plan owns its schedule slab) is the only party allowed to
+// Reset it, and may do so only when no pointer into the slab can
+// outlive the reset. Nothing in this repository resets a slab that has
+// been shared — fault-driven re-plans build a fresh graph/plan and
+// retire the old one whole (see docs/PERF.md, "Arena lifecycle"), so a
+// retired slab is simply garbage-collected with its owner and stale
+// pointers into recycled memory cannot exist.
+//
+// A Slab is not safe for concurrent use; each builder owns its own.
+package arena
+
+// chunkSize is the number of objects per chunk. Model graphs run tens
+// to a few hundred ops; 128 keeps one or two chunks per typical graph
+// while bounding the waste of a nearly-empty final chunk.
+const chunkSize = 128
+
+// Slab allocates objects of type T in chunks. The zero value is ready
+// to use.
+type Slab[T any] struct {
+	chunks [][]T
+	// used counts objects handed out of the last chunk.
+	used int
+	// total counts objects handed out over the slab's lifetime.
+	total int
+}
+
+// New returns a pointer to a zeroed T from the slab. The pointer stays
+// valid until Reset; appending to the slab never moves prior objects
+// (chunks are never reallocated, only added).
+func (s *Slab[T]) New() *T {
+	n := len(s.chunks)
+	if n == 0 || s.used == len(s.chunks[n-1]) {
+		s.chunks = append(s.chunks, make([]T, chunkSize))
+		n++
+		s.used = 0
+	}
+	p := &s.chunks[n-1][s.used]
+	s.used++
+	s.total++
+	return p
+}
+
+// Len reports how many objects the slab has handed out since the last
+// Reset.
+func (s *Slab[T]) Len() int { return s.total }
+
+// Chunks reports how many backing allocations the slab has made — the
+// number the thousands of per-object allocations collapsed to.
+func (s *Slab[T]) Chunks() int { return len(s.chunks) }
+
+// Reset zeroes and recycles every chunk. Only the slab's owner may call
+// it, and only when no pointer obtained from New can still be reached —
+// see the package comment for the ownership rules.
+func (s *Slab[T]) Reset() {
+	var zero T
+	for ci, c := range s.chunks {
+		live := len(c)
+		if ci == len(s.chunks)-1 {
+			live = s.used
+		}
+		for i := 0; i < live; i++ {
+			c[i] = zero
+		}
+	}
+	s.used = 0
+	s.total = 0
+	if len(s.chunks) > 0 {
+		// Keep one warm chunk; release the rest so a briefly-huge build
+		// doesn't pin its high-water mark forever.
+		s.chunks = s.chunks[:1]
+		s.used = 0
+	}
+}

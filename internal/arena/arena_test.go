@@ -1,0 +1,77 @@
+package arena
+
+import "testing"
+
+type obj struct {
+	id   int
+	name string
+}
+
+func TestSlabHandsOutZeroedStablePointers(t *testing.T) {
+	var s Slab[obj]
+	var ptrs []*obj
+	for i := 0; i < 1000; i++ {
+		p := s.New()
+		if p.id != 0 || p.name != "" {
+			t.Fatalf("object %d not zeroed: %+v", i, *p)
+		}
+		p.id = i
+		ptrs = append(ptrs, p)
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	// Growth must not have moved earlier objects.
+	for i, p := range ptrs {
+		if p.id != i {
+			t.Fatalf("object %d moved or corrupted: id=%d", i, p.id)
+		}
+	}
+	if got := s.Chunks(); got != (1000+chunkSize-1)/chunkSize {
+		t.Fatalf("Chunks = %d, want %d", got, (1000+chunkSize-1)/chunkSize)
+	}
+}
+
+func TestSlabAllocationsAmortize(t *testing.T) {
+	var s Slab[obj]
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < chunkSize; i++ {
+			s.New()
+		}
+	})
+	// One chunk's worth of objects must cost at most a couple of heap
+	// allocations (the chunk itself plus occasional chunks-slice growth).
+	if allocs > 3 {
+		t.Fatalf("%.0f allocs per %d objects, want <= 3", allocs, chunkSize)
+	}
+}
+
+func TestSlabReset(t *testing.T) {
+	var s Slab[obj]
+	for i := 0; i < 3*chunkSize; i++ {
+		p := s.New()
+		p.id = i + 1
+		p.name = "x"
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", s.Len())
+	}
+	if s.Chunks() != 1 {
+		t.Fatalf("Chunks after Reset = %d, want 1 warm chunk", s.Chunks())
+	}
+	for i := 0; i < 2*chunkSize; i++ {
+		p := s.New()
+		if p.id != 0 || p.name != "" {
+			t.Fatalf("recycled object %d not zeroed: %+v", i, *p)
+		}
+	}
+}
+
+func TestSlabResetEmpty(t *testing.T) {
+	var s Slab[obj]
+	s.Reset() // must not panic
+	if p := s.New(); p == nil || p.id != 0 {
+		t.Fatal("New after empty Reset broken")
+	}
+}

@@ -178,6 +178,9 @@ type Comparison struct {
 	Deltas []Delta
 	// OnlyOld/OnlyNew list benchmarks present in just one report.
 	OnlyOld, OnlyNew []string
+	// Skipped lists benchmarks excluded from a wall-time comparison
+	// because one side was a single-iteration run (see CompareWall).
+	Skipped []string
 }
 
 // Regressions returns the regressed deltas.
@@ -223,6 +226,53 @@ func Compare(old, new *Report, threshold float64) *Comparison {
 // hot path is an exact, reproducible regression.
 func CompareAllocs(old, new *Report, threshold float64) *Comparison {
 	return compare(old, new, threshold, true)
+}
+
+// CompareWall is the wall-time gate for multi-iteration runs: it flags
+// entries whose ns/op grew by more than threshold, subject to two noise
+// guards. Entries where either report is a single-iteration run are
+// skipped entirely (listed in Comparison.Skipped) — a -benchtime=1x
+// timing is dominated by first-call warm-up and proves nothing about
+// steady state. Entries whose old ns/op is below floorNs are reported
+// but not gated: the shorter the op, the larger the scheduler-jitter
+// share, so sub-floor timings cannot carry a trustworthy verdict.
+// Allocs/op growth beyond threshold is gated on every non-skipped entry
+// with no floor — allocation counts are exact at steady state.
+func CompareWall(old, new *Report, threshold, floorNs float64) *Comparison {
+	c := &Comparison{}
+	for _, oe := range old.Entries {
+		ne := new.Lookup(oe.Name)
+		if ne == nil {
+			c.OnlyOld = append(c.OnlyOld, oe.Name)
+			continue
+		}
+		if oe.Iterations <= 1 || ne.Iterations <= 1 {
+			c.Skipped = append(c.Skipped, oe.Name)
+			continue
+		}
+		d := Delta{
+			Name:        oe.Name,
+			OldNs:       oe.NsPerOp,
+			NewNs:       ne.NsPerOp,
+			NsRatio:     ratio(oe.NsPerOp, ne.NsPerOp),
+			OldAllocs:   oe.AllocsPerOp,
+			NewAllocs:   ne.AllocsPerOp,
+			AllocsRatio: ratio(oe.AllocsPerOp, ne.AllocsPerOp),
+		}
+		if d.NsRatio > 1+threshold && oe.NsPerOp >= floorNs {
+			d.Regressed = true
+		}
+		if d.AllocsRatio > 1+threshold {
+			d.Regressed = true
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, ne := range new.Entries {
+		if old.Lookup(ne.Name) == nil {
+			c.OnlyNew = append(c.OnlyNew, ne.Name)
+		}
+	}
+	return c
 }
 
 func compare(old, new *Report, threshold float64, allocsOnly bool) *Comparison {
@@ -281,6 +331,9 @@ func (c *Comparison) Render(w io.Writer) {
 		fmt.Fprintf(w, "%-44s %14.0f %14.0f %7.1f%% %10.0f %10.0f %7.1f%%%s\n",
 			d.Name, d.OldNs, d.NewNs, (d.NsRatio-1)*100,
 			d.OldAllocs, d.NewAllocs, (d.AllocsRatio-1)*100, mark)
+	}
+	for _, n := range c.Skipped {
+		fmt.Fprintf(w, "%-44s skipped (single-iteration run)\n", n)
 	}
 	for _, n := range c.OnlyOld {
 		fmt.Fprintf(w, "%-44s only in old report\n", n)

@@ -152,3 +152,83 @@ func TestRenderMarksRegressions(t *testing.T) {
 		t.Fatalf("render output missing REGRESSED marker:\n%s", buf.String())
 	}
 }
+
+func TestCompareWallSkipsSingleIterationRuns(t *testing.T) {
+	// A 3x wall-time regression is invisible to the wall gate when
+	// either side is a -benchtime=1x run: 1-iteration timings are
+	// warm-up, not steady state. The entry is skipped, not judged.
+	old := mkReport(
+		Entry{Name: "BenchmarkSmoke", Iterations: 1, NsPerOp: 100000},
+		Entry{Name: "BenchmarkHot", Iterations: 100, NsPerOp: 100000},
+	)
+	newR := mkReport(
+		Entry{Name: "BenchmarkSmoke", Iterations: 100, NsPerOp: 300000},
+		Entry{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 300000},
+	)
+	c := CompareWall(old, newR, 0.10, 1000)
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("single-iteration entries judged: %+v", regs)
+	}
+	if len(c.Skipped) != 2 {
+		t.Fatalf("Skipped = %v, want both entries", c.Skipped)
+	}
+	if len(c.Deltas) != 0 {
+		t.Fatalf("skipped entries still produced deltas: %+v", c.Deltas)
+	}
+}
+
+func TestCompareWallGatesMultiIterationWallTime(t *testing.T) {
+	old := mkReport(
+		Entry{Name: "BenchmarkKernel", Iterations: 100, NsPerOp: 100000},
+		Entry{Name: "BenchmarkSteady", Iterations: 100, NsPerOp: 100000},
+	)
+	newR := mkReport(
+		Entry{Name: "BenchmarkKernel", Iterations: 100, NsPerOp: 150000}, // +50% ns: regression
+		Entry{Name: "BenchmarkSteady", Iterations: 100, NsPerOp: 110000}, // +10%: within threshold
+	)
+	regs := CompareWall(old, newR, 0.40, 1000).Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkKernel" {
+		t.Fatalf("regressions = %+v, want just BenchmarkKernel", regs)
+	}
+}
+
+func TestCompareWallNoiseFloor(t *testing.T) {
+	// Below the floor the op is too short for jitter-free timing: the
+	// delta is reported but never gated. At or above the floor it is.
+	old := mkReport(
+		Entry{Name: "BenchmarkMicro", Iterations: 1000, NsPerOp: 4000},
+		Entry{Name: "BenchmarkMacro", Iterations: 1000, NsPerOp: 5000},
+	)
+	newR := mkReport(
+		Entry{Name: "BenchmarkMicro", Iterations: 1000, NsPerOp: 12000},
+		Entry{Name: "BenchmarkMacro", Iterations: 1000, NsPerOp: 15000},
+	)
+	c := CompareWall(old, newR, 0.40, 5000)
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkMacro" {
+		t.Fatalf("regressions = %+v, want just BenchmarkMacro", regs)
+	}
+	if len(c.Deltas) != 2 {
+		t.Fatalf("sub-floor entry dropped from the report: %+v", c.Deltas)
+	}
+}
+
+func TestCompareWallGatesAllocsWithoutFloor(t *testing.T) {
+	// Allocation counts are exact at steady state, so alloc growth is
+	// gated on every multi-iteration entry — even sub-floor ones.
+	old := mkReport(Entry{Name: "BenchmarkMicro", Iterations: 1000, NsPerOp: 100, AllocsPerOp: 10})
+	newR := mkReport(Entry{Name: "BenchmarkMicro", Iterations: 1000, NsPerOp: 100, AllocsPerOp: 20})
+	if regs := CompareWall(old, newR, 0.40, 5000).Regressions(); len(regs) != 1 {
+		t.Fatalf("steady-state alloc growth not flagged: %+v", regs)
+	}
+}
+
+func TestRenderListsSkippedEntries(t *testing.T) {
+	old := mkReport(Entry{Name: "BenchmarkSmoke", Iterations: 1, NsPerOp: 100000})
+	newR := mkReport(Entry{Name: "BenchmarkSmoke", Iterations: 1, NsPerOp: 900000})
+	var buf bytes.Buffer
+	CompareWall(old, newR, 0.40, 5000).Render(&buf)
+	if !strings.Contains(buf.String(), "skipped (single-iteration run)") {
+		t.Fatalf("render output missing skip note:\n%s", buf.String())
+	}
+}

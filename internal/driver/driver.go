@@ -246,44 +246,70 @@ func (t *CPUTarget) ExecuteSpan(ops []*nn.Op, dt tensor.DType, parent *telemetry
 	t.ExecuteCosted(ops, nil, dt, parent, done)
 }
 
+// cpuSegRun is the in-flight state of one CPU segment execution. The
+// per-op fan-out reuses two closures built once per segment (the
+// thread-completion callback and nothing else), so a segment costs O(1)
+// allocations instead of one closure per thread per op.
+type cpuSegRun struct {
+	t     *CPUTarget
+	ops   []*nn.Op
+	costs []time.Duration
+	dt    tensor.DType
+	sp    *telemetry.ActiveSpan
+	done  func(Result)
+	res   Result
+	eff   float64
+
+	i          int // current op index
+	remaining  int // threads still running the current op
+	threadDone func()
+}
+
+func (r *cpuSegRun) onThreadDone() {
+	r.remaining--
+	if r.remaining == 0 {
+		r.i++
+		r.runOp()
+	}
+}
+
+func (r *cpuSegRun) runOp() {
+	t := r.t
+	if r.i >= len(r.ops) {
+		r.sp.End()
+		if r.done != nil {
+			r.done(r.res)
+		}
+		return
+	}
+	var opTime time.Duration
+	if r.costs != nil {
+		opTime = r.costs[r.i]
+	} else {
+		opTime = t.dev.TimeFor(r.ops[r.i].Work(r.dt), r.dt)
+	}
+	n := len(t.threads)
+	perThread := time.Duration(float64(opTime)/(float64(n)*r.eff)) + t.PerOpOverhead
+	r.res.Compute += time.Duration(float64(opTime) / (float64(n) * r.eff))
+	r.res.Overhead += t.PerOpOverhead
+	r.res.EnergyJ += t.dev.ActivePowerW * float64(n) * perThread.Seconds()
+	r.remaining = n
+	for _, th := range t.threads {
+		th.Exec(perThread, r.threadDone)
+	}
+}
+
 // ExecuteCosted implements CostedExecutor: identical to ExecuteSpan with
 // each op's device time read from the schedule instead of recomputed.
 func (t *CPUTarget) ExecuteCosted(ops []*nn.Op, costs []time.Duration, dt tensor.DType, parent *telemetry.ActiveSpan, done func(Result)) {
 	sp := t.Tracer.Start("cpu-exec", "driver", telemetry.TrackCPU, parent)
 	sp.SetAttr("target", t.name)
-	n := len(t.threads)
-	eff := parallelEfficiency(n) * t.Efficiency
-	var res Result
-	var runOp func(i int)
-	runOp = func(i int) {
-		if i >= len(ops) {
-			sp.End()
-			if done != nil {
-				done(res)
-			}
-			return
-		}
-		var opTime time.Duration
-		if costs != nil {
-			opTime = costs[i]
-		} else {
-			opTime = t.dev.TimeFor(ops[i].Work(dt), dt)
-		}
-		perThread := time.Duration(float64(opTime)/(float64(n)*eff)) + t.PerOpOverhead
-		res.Compute += time.Duration(float64(opTime) / (float64(n) * eff))
-		res.Overhead += t.PerOpOverhead
-		res.EnergyJ += t.dev.ActivePowerW * float64(n) * perThread.Seconds()
-		remaining := n
-		for _, th := range t.threads {
-			th.Exec(perThread, func() {
-				remaining--
-				if remaining == 0 {
-					runOp(i + 1)
-				}
-			})
-		}
+	r := &cpuSegRun{
+		t: t, ops: ops, costs: costs, dt: dt, sp: sp, done: done,
+		eff: parallelEfficiency(len(t.threads)) * t.Efficiency,
 	}
-	runOp(0)
+	r.threadDone = r.onThreadDone
+	r.runOp()
 }
 
 // --- GPU target ---

@@ -5,6 +5,7 @@
 package imaging
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -89,6 +90,7 @@ func clampU8(v int) uint8 {
 	return uint8(v)
 }
 
+
 // Fixed-point coefficient tables for the BT.601 conversions. Each table
 // is one term of the original per-pixel integer expressions, precomputed
 // over the 256 possible byte values, so the kernels replace multiplies
@@ -151,9 +153,40 @@ func (t *yuvToARGBTask) Tile(lo, hi int) {
 		yRow := src.Y[j*w : j*w+w]
 		vuRow := src.VU[(j/2)*w : (j/2)*w+w]
 		out := dst.Pix[j*w : j*w+w]
-		// NV21 width is even; walk pixel pairs so each (V, U) sample and
-		// its chroma products load once per pair instead of per pixel.
-		for i := 0; i < w; i += 2 {
+		// SWAR main loop: one uint64 load grabs 8 luma bytes and another
+		// grabs 4 (V, U) chroma pairs, so the inner loop extracts channel
+		// bytes by shifting registers instead of eight bounds-checked
+		// slice reads. Clamping folds the six channel values of a pixel
+		// pair into a single OR: in-gamut pairs (the overwhelming
+		// majority of any real frame) take one perfectly-predicted
+		// branch and pack with no per-channel clamps at all, while
+		// out-of-gamut pairs fall back to the scalar clamp.
+		i := 0
+		for ; i+8 <= w; i += 8 {
+			yv := binary.LittleEndian.Uint64(yRow[i:])
+			cv := binary.LittleEndian.Uint64(vuRow[i:])
+			o := out[i : i+8 : i+8]
+			for k := 0; k < 8; k += 2 {
+				v, u := uint8(cv), uint8(cv>>8)
+				cv >>= 16
+				rC, gC, bC := rvTab[v], gvTab[v]+guTab[u], buTab[u]
+				y0 := lumTab[uint8(yv)]
+				yv >>= 8
+				y1 := lumTab[uint8(yv)]
+				yv >>= 8
+				r0, g0, b0 := (y0+rC)>>10, (y0+gC)>>10, (y0+bC)>>10
+				r1, g1, b1 := (y1+rC)>>10, (y1+gC)>>10, (y1+bC)>>10
+				if (r0|g0|b0|r1|g1|b1)&^0xFF == 0 {
+					o[k] = 0xFF000000 | uint32(r0)<<16 | uint32(g0)<<8 | uint32(b0)
+					o[k+1] = 0xFF000000 | uint32(r1)<<16 | uint32(g1)<<8 | uint32(b1)
+				} else {
+					o[k] = PackRGB(clampU8(int(r0)), clampU8(int(g0)), clampU8(int(b0)))
+					o[k+1] = PackRGB(clampU8(int(r1)), clampU8(int(g1)), clampU8(int(b1)))
+				}
+			}
+		}
+		// Tail (w%8 pixels; NV21 width is even, so whole pairs remain).
+		for ; i < w; i += 2 {
 			v, u := vuRow[i], vuRow[i+1]
 			rC, gC, bC := rvTab[v], gvTab[v]+guTab[u], buTab[u]
 			y0 := lumTab[yRow[i]]
@@ -196,6 +229,29 @@ type argbToYUVTask struct {
 
 var argbToYUVTasks = sync.Pool{New: func() any { return new(argbToYUVTask) }}
 
+// lumaByte computes one pixel's NV21 luma byte (BT.601, +16 offset).
+// No clamp is needed: over all 2^24 RGB inputs the result stays within
+// [16, 235], so the historical clampU8 never fired (pinned exhaustively
+// by TestEncodeBytesNeverClamp).
+func lumaByte(p uint32) uint64 {
+	r, g, b := uint8(p>>16), uint8(p>>8), uint8(p)
+	return uint64(((yrTab[r] + ygTab[g] + ybTab[b] + 128) >> 8) + 16)
+}
+
+// vByte and uByte compute one pixel's NV21 chroma bytes (+128 bias).
+// They are separate functions (rather than one returning both) to stay
+// under the inlining budget. Like lumaByte they need no clamp: results
+// stay within [16, 240] over the whole RGB cube.
+func vByte(p uint32) uint64 {
+	r, g, b := uint8(p>>16), uint8(p>>8), uint8(p)
+	return uint64(((vrTab[r] + vgTab[g] + vbTab[b] + 128) >> 8) + 128)
+}
+
+func uByte(p uint32) uint64 {
+	r, g, b := uint8(p>>16), uint8(p>>8), uint8(p)
+	return uint64(((urTab[r] + ugTab[g] + ubTab[b] + 128) >> 8) + 128)
+}
+
 func (t *argbToYUVTask) Tile(lo, hi int) {
 	src, dst := t.src, t.dst
 	w := dst.Width
@@ -204,21 +260,41 @@ func (t *argbToYUVTask) Tile(lo, hi int) {
 		yRow := dst.Y[j*w : j*w+w]
 		if j%2 == 0 {
 			vuRow := dst.VU[(j/2)*w : (j/2)*w+w]
-			for i := 0; i < w; i++ {
+			// SWAR main loop: 8 pixels become one packed uint64 store
+			// into the Y plane plus one (4 chroma pairs from the even
+			// columns) into the VU plane.
+			i := 0
+			for ; i+8 <= w; i += 8 {
+				r8 := srcRow[i : i+8 : i+8]
+				yw := lumaByte(r8[0]) | lumaByte(r8[1])<<8 | lumaByte(r8[2])<<16 |
+					lumaByte(r8[3])<<24 | lumaByte(r8[4])<<32 | lumaByte(r8[5])<<40 |
+					lumaByte(r8[6])<<48 | lumaByte(r8[7])<<56
+				binary.LittleEndian.PutUint64(yRow[i:], yw)
+				cw := vByte(r8[0]) | uByte(r8[0])<<8 | vByte(r8[2])<<16 | uByte(r8[2])<<24 |
+					vByte(r8[4])<<32 | uByte(r8[4])<<40 | vByte(r8[6])<<48 | uByte(r8[6])<<56
+				binary.LittleEndian.PutUint64(vuRow[i:], cw)
+			}
+			// Tail (w%8 pixels; width is even so chroma pairs stay whole,
+			// and i stays even so the i%2 subsampling phase is preserved).
+			for ; i < w; i++ {
 				p := srcRow[i]
-				r, g, b := uint8(p>>16), uint8(p>>8), uint8(p)
-				yRow[i] = clampU8(int((yrTab[r]+ygTab[g]+ybTab[b]+128)>>8) + 16)
+				yRow[i] = uint8(lumaByte(p))
 				if i%2 == 0 {
-					u := (urTab[r] + ugTab[g] + ubTab[b] + 128) >> 8
-					v := (vrTab[r] + vgTab[g] + vbTab[b] + 128) >> 8
-					vuRow[i] = clampU8(int(v) + 128)
-					vuRow[i+1] = clampU8(int(u) + 128)
+					vuRow[i] = uint8(vByte(p))
+					vuRow[i+1] = uint8(uByte(p))
 				}
 			}
 		} else {
-			for i := 0; i < w; i++ {
-				p := srcRow[i]
-				yRow[i] = clampU8(int((yrTab[uint8(p>>16)]+ygTab[uint8(p>>8)]+ybTab[uint8(p)]+128)>>8) + 16)
+			i := 0
+			for ; i+8 <= w; i += 8 {
+				r8 := srcRow[i : i+8 : i+8]
+				yw := lumaByte(r8[0]) | lumaByte(r8[1])<<8 | lumaByte(r8[2])<<16 |
+					lumaByte(r8[3])<<24 | lumaByte(r8[4])<<32 | lumaByte(r8[5])<<40 |
+					lumaByte(r8[6])<<48 | lumaByte(r8[7])<<56
+				binary.LittleEndian.PutUint64(yRow[i:], yw)
+			}
+			for ; i < w; i++ {
+				yRow[i] = uint8(lumaByte(srcRow[i]))
 			}
 		}
 	}

@@ -153,22 +153,35 @@ func (m *Model) Validate() error {
 	return nil
 }
 
+// registry lists the zoo in Table-I row order as (name, constructor)
+// pairs, so lookups can build exactly the model they need instead of
+// rebuilding all eleven graphs per call. Each name mirrors the Name
+// field its constructor sets (pinned by TestRegistryNamesMatch).
+var registry = []struct {
+	name  string
+	build func() *Model
+}{
+	{"MobileNet 1.0 v1", MobileNetV1},
+	{"NasNet Mobile", NasNetMobile},
+	{"SqueezeNet", SqueezeNet},
+	{"EfficientNet-Lite0", EfficientNetLite0},
+	{"AlexNet", AlexNet},
+	{"Inception v4", InceptionV4},
+	{"Inception v3", InceptionV3},
+	{"Deeplab-v3 MobileNet-v2", DeepLabV3},
+	{"SSD MobileNet v2", SSDMobileNetV2},
+	{"PoseNet", PoseNet},
+	{"Mobile BERT", MobileBERT},
+}
+
 // All returns the zoo in Table-I row order. Graphs are rebuilt on every
 // call; callers that need identity should cache.
 func All() []*Model {
-	return []*Model{
-		MobileNetV1(),
-		NasNetMobile(),
-		SqueezeNet(),
-		EfficientNetLite0(),
-		AlexNet(),
-		InceptionV4(),
-		InceptionV3(),
-		DeepLabV3(),
-		SSDMobileNetV2(),
-		PoseNet(),
-		MobileBERT(),
+	out := make([]*Model, len(registry))
+	for i, r := range registry {
+		out[i] = r.build()
 	}
+	return out
 }
 
 // normalize reduces a model name to its lowercase alphanumerics, so
@@ -209,12 +222,12 @@ var ErrUnknownModel = errors.New("models: unknown model")
 // ByName finds a model in the zoo by its Table-I name. Exact names win;
 // otherwise the lookup falls back to a normalized comparison (case,
 // spacing and punctuation insensitive) and a small alias table, so
-// "MobileNetV1" resolves to "MobileNet 1.0 v1".
+// "MobileNetV1" resolves to "MobileNet 1.0 v1". Only the matched model
+// is built — a lookup costs one graph build, not eleven.
 func ByName(name string) (*Model, error) {
-	all := All()
-	for _, m := range all {
-		if m.Name == name {
-			return m, nil
+	for _, r := range registry {
+		if r.name == name {
+			return r.build(), nil
 		}
 	}
 	want := normalize(name)
@@ -222,21 +235,21 @@ func ByName(name string) (*Model, error) {
 		want = normalize(canon)
 	}
 	if want != "" {
-		for _, m := range all {
-			if normalize(m.Name) == want {
-				return m, nil
+		for _, r := range registry {
+			if normalize(r.name) == want {
+				return r.build(), nil
 			}
 		}
 	}
 	return nil, fmt.Errorf("%w %q", ErrUnknownModel, name)
 }
 
-// Names lists the zoo's model names in Table-I order.
+// Names lists the zoo's model names in Table-I order without building
+// any graphs.
 func Names() []string {
-	all := All()
-	out := make([]string, len(all))
-	for i, m := range all {
-		out[i] = m.Name
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
 	}
 	return out
 }

@@ -288,3 +288,27 @@ func TestQuantizable(t *testing.T) {
 		t.Fatal("PoseNet int8 is not in Table I")
 	}
 }
+
+func TestRegistryNamesMatch(t *testing.T) {
+	// The registry's static names must mirror the Name field each
+	// constructor sets, or ByName's exact-match fast path would build
+	// the wrong model (or none).
+	for _, r := range registry {
+		if m := r.build(); m.Name != r.name {
+			t.Errorf("registry name %q builds model named %q", r.name, m.Name)
+		}
+	}
+}
+
+func TestByNameBuildsFreshGraphs(t *testing.T) {
+	// ByName must keep returning independent instances: callers cache
+	// lookups themselves and the zoo promises rebuilt graphs per call.
+	a, _ := ByName("MobileNet 1.0 v1")
+	b, _ := ByName("MobileNet 1.0 v1")
+	if a == b || a.Graph == b.Graph {
+		t.Fatal("ByName returned a shared instance")
+	}
+	if a.Graph.NumOps() != b.Graph.NumOps() {
+		t.Fatal("rebuilt graphs differ")
+	}
+}

@@ -13,16 +13,17 @@ func FuseActivations(g *Graph) *Graph {
 	out := NewGraph(g.Name, g.InputShape)
 	ops := g.Ops()
 	for i := 0; i < len(ops); i++ {
-		op := *ops[i] // copy
+		op := out.NewOp()
+		*op = *ops[i] // copy into the fused graph's own slab
 		if fusable(op.Kind) && i+1 < len(ops) && isActivation(ops[i+1].Kind) {
 			act := ops[i+1]
 			// The activation's element-wise cost rides along with the
 			// producer (it runs in-register on the producer's output).
 			op.MACs += act.FLOPs() / 2
-			op.Name = op.Name + "+" + act.Kind.String()
+			op.Name = internedFusedName(op.Name, act.Kind.String())
 			i++ // consume the activation
 		}
-		out.Append(&op)
+		out.Append(op)
 	}
 	return out
 }

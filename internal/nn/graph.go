@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"aitax/internal/arena"
 	"aitax/internal/tensor"
 )
 
@@ -14,6 +15,10 @@ type Graph struct {
 	Name       string
 	InputShape tensor.Shape
 	ops        []*Op
+	// slab backs the ops NewOp hands out. The graph owns it for life:
+	// nothing resets it while the graph is reachable, and a graph retired
+	// by a fault re-plan takes its slab (and every op in it) with it.
+	slab arena.Slab[Op]
 }
 
 // NewGraph creates an empty graph with the given model input shape.
@@ -21,8 +26,19 @@ func NewGraph(name string, input tensor.Shape) *Graph {
 	return &Graph{Name: name, InputShape: input.Clone()}
 }
 
+// NewOp allocates a zeroed op from the graph's slab. Builders use it so
+// a whole graph build costs a handful of chunk allocations instead of
+// one heap object per op. Slab-allocated ops live exactly as long as
+// the graph; callers that need an op to outlive its graph must copy it.
+func (g *Graph) NewOp() *Op { return g.slab.New() }
+
 // Append adds an op to the end of the graph and returns it for chaining.
 func (g *Graph) Append(op *Op) *Op {
+	if g.ops == nil {
+		// Typical Table-I graphs run 30-600 ops; one pre-sized slice
+		// absorbs most appends without regrowth.
+		g.ops = make([]*Op, 0, 64)
+	}
 	g.ops = append(g.ops, op)
 	return op
 }

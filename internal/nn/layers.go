@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"fmt"
-
 	"aitax/internal/tensor"
 )
 
@@ -30,7 +28,16 @@ func NewSeqBuilder(name string, seq, hidden int) *Builder {
 
 func (b *Builder) name(kind string) string {
 	b.n++
-	return fmt.Sprintf("%s_%d", kind, b.n)
+	return internedName(kind, b.n)
+}
+
+// add copies op into the graph's op slab and appends it, so layer
+// methods build composite literals on the stack and the graph pays a
+// chunk allocation per ~128 ops instead of one heap object per op.
+func (b *Builder) add(op Op) *Op {
+	p := b.g.NewOp()
+	*p = op
+	return b.g.Append(p)
 }
 
 func outDim(in, stride int) int { return (in + stride - 1) / stride } // SAME padding
@@ -42,15 +49,14 @@ func (b *Builder) Shape() (h, w, c int) { return b.h, b.w, b.c }
 // stride and output channels, including bias parameters.
 func (b *Builder) Conv(outC, k, stride int) *Builder {
 	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
-	op := &Op{
+	b.add(Op{
 		Name: b.name("conv"), Kind: Conv2D,
 		InH: b.h, InW: b.w, InC: b.c,
 		OutH: oh, OutW: ow, OutC: outC,
 		KH: k, KW: k, Stride: stride,
 		Params: int64(k)*int64(k)*int64(b.c)*int64(outC) + int64(outC),
 		MACs:   int64(oh) * int64(ow) * int64(outC) * int64(k) * int64(k) * int64(b.c),
-	}
-	b.g.Append(op)
+	})
 	b.h, b.w, b.c = oh, ow, outC
 	return b
 }
@@ -58,15 +64,14 @@ func (b *Builder) Conv(outC, k, stride int) *Builder {
 // ConvRect appends a rectangular-kernel convolution (kh×kw), SAME padding
 // and stride 1 — the factorized 1×7/7×1 pairs of Inception v3/v4.
 func (b *Builder) ConvRect(outC, kh, kw int) *Builder {
-	op := &Op{
+	b.add(Op{
 		Name: b.name("conv"), Kind: Conv2D,
 		InH: b.h, InW: b.w, InC: b.c,
 		OutH: b.h, OutW: b.w, OutC: outC,
 		KH: kh, KW: kw, Stride: 1,
 		Params: int64(kh)*int64(kw)*int64(b.c)*int64(outC) + int64(outC),
 		MACs:   int64(b.h) * int64(b.w) * int64(outC) * int64(kh) * int64(kw) * int64(b.c),
-	}
-	b.g.Append(op)
+	})
 	b.c = outC
 	return b
 }
@@ -76,7 +81,7 @@ func (b *Builder) ConvRect(outC, kh, kw int) *Builder {
 func (b *Builder) MaxPoolValid(k, stride int) *Builder {
 	oh := (b.h-k)/stride + 1
 	ow := (b.w-k)/stride + 1
-	b.g.Append(&Op{Name: b.name("maxpool"), Kind: MaxPool,
+	b.add(Op{Name: b.name("maxpool"), Kind: MaxPool,
 		InH: b.h, InW: b.w, InC: b.c, OutH: oh, OutW: ow, OutC: b.c,
 		KH: k, KW: k, Stride: stride})
 	b.h, b.w = oh, ow
@@ -87,15 +92,14 @@ func (b *Builder) MaxPoolValid(k, stride int) *Builder {
 // affects the receptive field, not the MAC count, and SAME padding keeps
 // the spatial size.
 func (b *Builder) DilatedConv(outC, k, dilation int) *Builder {
-	op := &Op{
+	b.add(Op{
 		Name: b.name("atrous"), Kind: Conv2D,
 		InH: b.h, InW: b.w, InC: b.c,
 		OutH: b.h, OutW: b.w, OutC: outC,
 		KH: k, KW: k, Stride: 1, Dilation: dilation,
 		Params: int64(k)*int64(k)*int64(b.c)*int64(outC) + int64(outC),
 		MACs:   int64(b.h) * int64(b.w) * int64(outC) * int64(k) * int64(k) * int64(b.c),
-	}
-	b.g.Append(op)
+	})
 	b.c = outC
 	return b
 }
@@ -103,36 +107,35 @@ func (b *Builder) DilatedConv(outC, k, dilation int) *Builder {
 // DWConv appends a depthwise convolution (channel multiplier 1).
 func (b *Builder) DWConv(k, stride int) *Builder {
 	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
-	op := &Op{
+	b.add(Op{
 		Name: b.name("dwconv"), Kind: DepthwiseConv2D,
 		InH: b.h, InW: b.w, InC: b.c,
 		OutH: oh, OutW: ow, OutC: b.c,
 		KH: k, KW: k, Stride: stride,
 		Params: int64(k)*int64(k)*int64(b.c) + int64(b.c),
 		MACs:   int64(oh) * int64(ow) * int64(b.c) * int64(k) * int64(k),
-	}
-	b.g.Append(op)
+	})
 	b.h, b.w = oh, ow
 	return b
 }
 
 // ReLU6 appends the mobile-standard clipped activation.
 func (b *Builder) ReLU6() *Builder {
-	b.g.Append(&Op{Name: b.name("relu6"), Kind: ReLU6,
+	b.add(Op{Name: b.name("relu6"), Kind: ReLU6,
 		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
 	return b
 }
 
 // ReLU appends a plain rectifier.
 func (b *Builder) ReLU() *Builder {
-	b.g.Append(&Op{Name: b.name("relu"), Kind: ReLU,
+	b.add(Op{Name: b.name("relu"), Kind: ReLU,
 		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
 	return b
 }
 
 // Sigmoid appends a logistic activation.
 func (b *Builder) Sigmoid() *Builder {
-	b.g.Append(&Op{Name: b.name("sigmoid"), Kind: Sigmoid,
+	b.add(Op{Name: b.name("sigmoid"), Kind: Sigmoid,
 		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
 	return b
 }
@@ -153,7 +156,7 @@ func (b *Builder) InvertedResidual(outC, stride, expand int) *Builder {
 	b.DWConv(3, stride).ReLU6()
 	b.Conv(outC, 1, 1)
 	if stride == 1 && inC == outC {
-		b.g.Append(&Op{Name: b.name("add"), Kind: Add,
+		b.add(Op{Name: b.name("add"), Kind: Add,
 			InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
 	}
 	return b
@@ -162,7 +165,7 @@ func (b *Builder) InvertedResidual(outC, stride, expand int) *Builder {
 // MaxPool appends a k×k max pooling with the given stride.
 func (b *Builder) MaxPool(k, stride int) *Builder {
 	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
-	b.g.Append(&Op{Name: b.name("maxpool"), Kind: MaxPool,
+	b.add(Op{Name: b.name("maxpool"), Kind: MaxPool,
 		InH: b.h, InW: b.w, InC: b.c, OutH: oh, OutW: ow, OutC: b.c,
 		KH: k, KW: k, Stride: stride})
 	b.h, b.w = oh, ow
@@ -172,7 +175,7 @@ func (b *Builder) MaxPool(k, stride int) *Builder {
 // AvgPool appends a k×k average pooling with the given stride.
 func (b *Builder) AvgPool(k, stride int) *Builder {
 	oh, ow := outDim(b.h, stride), outDim(b.w, stride)
-	b.g.Append(&Op{Name: b.name("avgpool"), Kind: AvgPool,
+	b.add(Op{Name: b.name("avgpool"), Kind: AvgPool,
 		InH: b.h, InW: b.w, InC: b.c, OutH: oh, OutW: ow, OutC: b.c,
 		KH: k, KW: k, Stride: stride})
 	b.h, b.w = oh, ow
@@ -181,7 +184,7 @@ func (b *Builder) AvgPool(k, stride int) *Builder {
 
 // GlobalAvgPool reduces the spatial extent to 1×1.
 func (b *Builder) GlobalAvgPool() *Builder {
-	b.g.Append(&Op{Name: b.name("gap"), Kind: AvgPool,
+	b.add(Op{Name: b.name("gap"), Kind: AvgPool,
 		InH: b.h, InW: b.w, InC: b.c, OutH: 1, OutW: 1, OutC: b.c,
 		KH: b.h, KW: b.w, Stride: 1})
 	b.h, b.w = 1, 1
@@ -190,7 +193,7 @@ func (b *Builder) GlobalAvgPool() *Builder {
 
 // LRN appends AlexNet-style local response normalization.
 func (b *Builder) LRN() *Builder {
-	b.g.Append(&Op{Name: b.name("lrn"), Kind: LocalResponseNorm,
+	b.add(Op{Name: b.name("lrn"), Kind: LocalResponseNorm,
 		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
 	return b
 }
@@ -198,7 +201,7 @@ func (b *Builder) LRN() *Builder {
 // FC appends a fully-connected layer over the flattened activation.
 func (b *Builder) FC(out int) *Builder {
 	in := int64(b.h) * int64(b.w) * int64(b.c)
-	b.g.Append(&Op{Name: b.name("fc"), Kind: FullyConnected,
+	b.add(Op{Name: b.name("fc"), Kind: FullyConnected,
 		InH: 1, InW: 1, InC: int(in), OutH: 1, OutW: 1, OutC: out,
 		Params: in*int64(out) + int64(out),
 		MACs:   in * int64(out)})
@@ -208,14 +211,14 @@ func (b *Builder) FC(out int) *Builder {
 
 // Softmax appends the final classification softmax.
 func (b *Builder) Softmax() *Builder {
-	b.g.Append(&Op{Name: b.name("softmax"), Kind: Softmax,
+	b.add(Op{Name: b.name("softmax"), Kind: Softmax,
 		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: b.c})
 	return b
 }
 
 // Upsample appends an in-graph bilinear resize to h×w (DeepLab decoder).
 func (b *Builder) Upsample(h, w int) *Builder {
-	b.g.Append(&Op{Name: b.name("resize"), Kind: ResizeBilinearOp,
+	b.add(Op{Name: b.name("resize"), Kind: ResizeBilinearOp,
 		InH: b.h, InW: b.w, InC: b.c, OutH: h, OutW: w, OutC: b.c})
 	b.h, b.w = h, w
 	return b
@@ -224,7 +227,7 @@ func (b *Builder) Upsample(h, w int) *Builder {
 // Concat appends a channel concatenation that widens the activation to
 // totalC channels (modelling an inception-module join).
 func (b *Builder) Concat(totalC int) *Builder {
-	b.g.Append(&Op{Name: b.name("concat"), Kind: Concat,
+	b.add(Op{Name: b.name("concat"), Kind: Concat,
 		InH: b.h, InW: b.w, InC: b.c, OutH: b.h, OutW: b.w, OutC: totalC})
 	b.c = totalC
 	return b
@@ -234,7 +237,7 @@ func (b *Builder) Concat(totalC int) *Builder {
 
 // Embedding appends a token-embedding lookup over a vocab of the given size.
 func (b *Builder) Embedding(vocab int) *Builder {
-	b.g.Append(&Op{Name: b.name("embed"), Kind: Embedding,
+	b.add(Op{Name: b.name("embed"), Kind: Embedding,
 		Seq: b.seq, Hidden: b.hidden, Inner: b.hidden,
 		Params: int64(vocab) * int64(b.hidden)})
 	return b
@@ -245,7 +248,7 @@ func (b *Builder) Embedding(vocab int) *Builder {
 func (b *Builder) TransformerLayer(heads, inner int) *Builder {
 	s, h := int64(b.seq), int64(b.hidden)
 	proj := func(label string) {
-		b.g.Append(&Op{Name: b.name(label), Kind: MatMul,
+		b.add(Op{Name: b.name(label), Kind: MatMul,
 			Seq: b.seq, Hidden: b.hidden, Inner: b.hidden, Heads: heads,
 			Params: h*h + h,
 			MACs:   s * h * h})
@@ -254,29 +257,29 @@ func (b *Builder) TransformerLayer(heads, inner int) *Builder {
 	proj("attn_k")
 	proj("attn_v")
 	// scores = QK^T: seq×seq×hidden; context = scores·V: same cost.
-	b.g.Append(&Op{Name: b.name("attn_scores"), Kind: MatMul,
+	b.add(Op{Name: b.name("attn_scores"), Kind: MatMul,
 		Seq: b.seq, Hidden: b.hidden, Inner: b.seq, Heads: heads,
 		MACs: s * s * h})
-	b.g.Append(&Op{Name: b.name("attn_softmax"), Kind: Softmax,
+	b.add(Op{Name: b.name("attn_softmax"), Kind: Softmax,
 		Seq: b.seq, Hidden: b.seq, Inner: b.seq})
-	b.g.Append(&Op{Name: b.name("attn_context"), Kind: MatMul,
+	b.add(Op{Name: b.name("attn_context"), Kind: MatMul,
 		Seq: b.seq, Hidden: b.seq, Inner: b.hidden, Heads: heads,
 		MACs: s * s * h})
 	proj("attn_out")
-	b.g.Append(&Op{Name: b.name("ln_attn"), Kind: LayerNorm,
+	b.add(Op{Name: b.name("ln_attn"), Kind: LayerNorm,
 		Seq: b.seq, Hidden: b.hidden, Inner: b.hidden, Params: 2 * h})
 	// FFN: hidden→inner→hidden with GELU.
-	b.g.Append(&Op{Name: b.name("ffn_in"), Kind: MatMul,
+	b.add(Op{Name: b.name("ffn_in"), Kind: MatMul,
 		Seq: b.seq, Hidden: b.hidden, Inner: inner,
 		Params: h*int64(inner) + int64(inner),
 		MACs:   s * h * int64(inner)})
-	b.g.Append(&Op{Name: b.name("gelu"), Kind: GELU,
+	b.add(Op{Name: b.name("gelu"), Kind: GELU,
 		Seq: b.seq, Hidden: inner, Inner: inner})
-	b.g.Append(&Op{Name: b.name("ffn_out"), Kind: MatMul,
+	b.add(Op{Name: b.name("ffn_out"), Kind: MatMul,
 		Seq: b.seq, Hidden: inner, Inner: b.hidden,
 		Params: int64(inner)*h + h,
 		MACs:   s * int64(inner) * h})
-	b.g.Append(&Op{Name: b.name("ln_ffn"), Kind: LayerNorm,
+	b.add(Op{Name: b.name("ln_ffn"), Kind: LayerNorm,
 		Seq: b.seq, Hidden: b.hidden, Inner: b.hidden, Params: 2 * h})
 	return b
 }
@@ -284,11 +287,11 @@ func (b *Builder) TransformerLayer(heads, inner int) *Builder {
 // SeqClassifier appends the pooled classification head.
 func (b *Builder) SeqClassifier(classes int) *Builder {
 	h := int64(b.hidden)
-	b.g.Append(&Op{Name: b.name("pool_fc"), Kind: FullyConnected,
+	b.add(Op{Name: b.name("pool_fc"), Kind: FullyConnected,
 		Seq: 1, Hidden: b.hidden, Inner: classes,
 		Params: h*int64(classes) + int64(classes),
 		MACs:   h * int64(classes)})
-	b.g.Append(&Op{Name: b.name("softmax"), Kind: Softmax,
+	b.add(Op{Name: b.name("softmax"), Kind: Softmax,
 		Seq: 1, Hidden: classes, Inner: classes})
 	return b
 }

@@ -1,0 +1,69 @@
+package nn
+
+// Interned op-name tables. Every graph build names its ops
+// "<prefix>_<index>" with a per-graph running index, and activation
+// fusion derives "<name>+<act>" from them — a bounded, heavily repeated
+// vocabulary (the lab's parallel workers rebuild the same eleven graphs
+// constantly). Interning makes each distinct name cost one allocation
+// per process instead of one per build. Both tables only ever grow, are
+// guarded for concurrent builders, and lookups on the warm path
+// allocate nothing (typed map, struct key, no boxing).
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	nameMu sync.RWMutex
+	// nameTab maps a prefix to its interned "<prefix>_<n>" names,
+	// index n-1 holding "<prefix>_<n>".
+	nameTab = map[string][]string{}
+)
+
+// internedName returns the canonical "<prefix>_<n>" string (n >= 1),
+// building and caching any missing entries up to n.
+func internedName(prefix string, n int) string {
+	nameMu.RLock()
+	names := nameTab[prefix]
+	nameMu.RUnlock()
+	if n <= len(names) {
+		return names[n-1]
+	}
+	nameMu.Lock()
+	names = nameTab[prefix]
+	for len(names) < n {
+		names = append(names, fmt.Sprintf("%s_%d", prefix, len(names)+1))
+	}
+	nameTab[prefix] = names
+	nameMu.Unlock()
+	return names[n-1]
+}
+
+type fusedKey struct{ name, act string }
+
+var (
+	fusedMu  sync.RWMutex
+	fusedTab = map[fusedKey]string{}
+)
+
+// internedFusedName returns the canonical "<name>+<act>" string the
+// activation-fusion pass assigns, interning it on first use.
+func internedFusedName(name, act string) string {
+	k := fusedKey{name, act}
+	fusedMu.RLock()
+	s, ok := fusedTab[k]
+	fusedMu.RUnlock()
+	if ok {
+		return s
+	}
+	fusedMu.Lock()
+	if t, ok := fusedTab[k]; ok {
+		s = t
+	} else {
+		s = name + "+" + act
+		fusedTab[k] = s
+	}
+	fusedMu.Unlock()
+	return s
+}

@@ -236,6 +236,7 @@ func (f *Framework) Compile(g *nn.Graph, dt tensor.DType, pref Preference) *Comp
 	// mutate it), only the index ranges and cost schedules are shared.
 	accelCosts := f.opCosts(g, dt, accel)
 	cpuCosts := f.opCosts(g, dt, f.FallbackCPU)
+	cm.Partitions = make([]Partition, 0, len(segs))
 	for _, s := range segs {
 		t, costs := f.FallbackCPU, cpuCosts
 		if s.Accel {

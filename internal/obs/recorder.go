@@ -212,6 +212,38 @@ func (r *Recorder) Observe(at time.Duration, name string, v float64) {
 	h.hists[slot].Observe(v)
 }
 
+// Touch creates the named histogram series (with an empty histogram in
+// at's window) without recording an observation, so a prewarmed
+// harness's first window carries the full series set instead of being
+// an outlier missing most of it. Existing series are left untouched.
+func (r *Recorder) Touch(at time.Duration, name string) {
+	idx := r.windowIndex(at)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance(idx)
+	if idx < r.head-r.cfg.Keep+1 || idx < r.closedTo {
+		return
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &histRing{hists: make([]*Histogram, r.cfg.Keep), tag: make([]int, r.cfg.Keep)}
+		for i := range h.tag {
+			h.tag[i] = -1
+		}
+		r.hists[name] = h
+		r.dirty = true
+	}
+	slot := idx % r.cfg.Keep
+	if h.tag[slot] != idx {
+		h.tag[slot] = idx
+		if h.hists[slot] == nil {
+			h.hists[slot] = NewHistogram(r.cfg.Bounds)
+		} else {
+			h.hists[slot].Reset()
+		}
+	}
+}
+
 // sortedNamesLocked returns the union of series names, sorted.
 func (r *Recorder) sortedNamesLocked() []string {
 	if r.dirty {

@@ -17,7 +17,9 @@
 package plan
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aitax/internal/nn"
@@ -58,6 +60,11 @@ type Cache struct {
 	entries map[Key]*entry
 
 	hits, misses, invalidations int64
+	// compileNS accumulates host wall time spent inside build functions
+	// (atomically; builds run outside mu). It is the plan-compilation tax
+	// callers have paid so far — the quantity Prewarm moves from the
+	// first request to startup.
+	compileNS int64
 }
 
 // New returns an empty cache.
@@ -86,8 +93,22 @@ func (c *Cache) Get(k Key, build func() any) any {
 		c.hits++
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val = build() })
+	e.once.Do(func() {
+		start := time.Now()
+		e.val = build()
+		atomic.AddInt64(&c.compileNS, int64(time.Since(start)))
+	})
 	return e.val
+}
+
+// CompileTime reports cumulative host wall time spent building cache
+// entries. Deltas around a request isolate the plan-compilation share
+// of its latency; a fully prewarmed request adds exactly zero.
+func (c *Cache) CompileTime() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&c.compileNS))
 }
 
 // Invalidate drops the entry for k (if present), so the next Get
@@ -123,6 +144,58 @@ func (c *Cache) Stats() (hits, misses, invalidations int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.invalidations
+}
+
+// Job is one prewarm compilation unit: Compile must build — and thereby
+// cache — every plan artifact one configuration needs. The plan package
+// cannot depend on the frameworks that compile plans (they import it),
+// so jobs carry opaque closures; internal/tflite enumerates the Table-I
+// grid into jobs, internal/serve enumerates a serving config's.
+type Job struct {
+	// Label identifies the configuration for progress reporting
+	// ("Google Pixel 3/MobileNet 1.0 v1/int8/nnapi").
+	Label string
+	// Compile builds the configuration's plans. Skipping an unsupported
+	// combination by returning early is fine — it simply adds no entries.
+	Compile func()
+}
+
+// Report summarizes one prewarm pass.
+type Report struct {
+	// Jobs is the number of configurations compiled.
+	Jobs int
+	// Entries is the number of cache entries the pass added (zero when
+	// everything was already warm).
+	Entries int
+	// Wall is the pass's total host wall time.
+	Wall time.Duration
+	// Compile is the share of Wall spent inside plan builds — the
+	// cold-start tax moved off the first request onto startup.
+	Compile time.Duration
+}
+
+// String renders the report the way the -prewarm flags print it.
+func (r Report) String() string {
+	return fmt.Sprintf("compiled %d plan entries from %d configurations in %v (%v in plan builds)",
+		r.Entries, r.Jobs, r.Wall.Round(time.Microsecond), r.Compile.Round(time.Microsecond))
+}
+
+// Prewarm runs every job against the cache and reports how many entries
+// the pass added and what it cost. Running it at startup moves the
+// first-request plan-compilation tax to load time; re-running it is a
+// cheap no-op (all hits, zero entries added).
+func (c *Cache) Prewarm(jobs []Job) Report {
+	start := time.Now()
+	before, compileBefore := c.Len(), c.CompileTime()
+	for _, j := range jobs {
+		j.Compile()
+	}
+	return Report{
+		Jobs:    len(jobs),
+		Entries: c.Len() - before,
+		Wall:    time.Since(start),
+		Compile: c.CompileTime() - compileBefore,
+	}
 }
 
 // Segment is one contiguous op range [Start, End) in graph order,

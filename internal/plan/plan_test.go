@@ -220,3 +220,49 @@ func TestOpCostsMatchesDevice(t *testing.T) {
 		}
 	}
 }
+
+// TestPrewarmPricesThePass pins the prewarm contract: the report counts
+// jobs and entries added, prices the compile share, and re-running the
+// same jobs is an all-hit no-op that adds no entries and no compile
+// time — the cold-start tax is paid exactly once.
+func TestPrewarmPricesThePass(t *testing.T) {
+	c := New()
+	build := func() any { time.Sleep(200 * time.Microsecond); return 1 }
+	jobs := []Job{
+		{Label: "a", Compile: func() { c.Get(testKey(0), build) }},
+		{Label: "b", Compile: func() { c.Get(testKey(1), build) }},
+		{Label: "unsupported", Compile: func() {}}, // skipped combo: no entries
+	}
+	rep := c.Prewarm(jobs)
+	if rep.Jobs != 3 || rep.Entries != 2 {
+		t.Fatalf("report = %d jobs, %d entries, want 3 jobs, 2 entries", rep.Jobs, rep.Entries)
+	}
+	if rep.Compile <= 0 || rep.Wall < rep.Compile {
+		t.Fatalf("report times wall=%v compile=%v, want 0 < compile <= wall", rep.Wall, rep.Compile)
+	}
+	again := c.Prewarm(jobs)
+	if again.Entries != 0 || again.Compile != 0 {
+		t.Fatalf("second pass added %d entries, %v compile, want a free no-op", again.Entries, again.Compile)
+	}
+}
+
+// TestCompileTimeIsolatesBuildCost pins CompileTime deltas as the
+// plan-compilation share of a request: a miss adds build time, a hit
+// adds exactly zero.
+func TestCompileTimeIsolatesBuildCost(t *testing.T) {
+	c := New()
+	build := func() any { time.Sleep(200 * time.Microsecond); return 1 }
+	before := c.CompileTime()
+	c.Get(testKey(0), build)
+	afterMiss := c.CompileTime()
+	if afterMiss-before < 200*time.Microsecond {
+		t.Fatalf("miss added %v compile time, want at least the build's sleep", afterMiss-before)
+	}
+	c.Get(testKey(0), build)
+	if c.CompileTime() != afterMiss {
+		t.Fatalf("hit added %v compile time, want zero", c.CompileTime()-afterMiss)
+	}
+	if (*Cache)(nil).CompileTime() != 0 {
+		t.Fatal("nil cache must report zero compile time")
+	}
+}

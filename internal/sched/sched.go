@@ -22,6 +22,13 @@ type Core struct {
 
 	busy    bool
 	current *Thread
+	// Reusable end-of-slice callback state: a core runs at most one
+	// slice at a time, so one closure per core (built at construction)
+	// serves every slice instead of one allocation per slice.
+	sliceEnd  func()
+	sliceT    *Thread
+	sliceExec time.Duration
+	sliceLen  time.Duration
 	// Accounting.
 	busyTime   time.Duration
 	lastThread *Thread
@@ -61,10 +68,16 @@ type Thread struct {
 	s         *Scheduler
 	remaining time.Duration // of the current burst
 	onDone    func()
-	queue     []burst
-	lastCore  *Core
-	running   bool
-	queued    bool
+	// queue[qhead:] are the pending bursts. Popping advances qhead
+	// instead of reslicing the front off, so the backing array (and its
+	// capacity) is recycled once the queue drains — a thread that
+	// executes thousands of bursts reallocates its queue O(1) times, not
+	// O(bursts).
+	queue    []burst
+	qhead    int
+	lastCore *Core
+	running  bool
+	queued   bool
 
 	// Accounting.
 	cpuTime    time.Duration
@@ -166,6 +179,10 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 		s.cores = append(s.cores, &Core{ID: id, Big: false, Speed: cfg.LittleSpeed})
 		id++
 	}
+	for _, c := range s.cores {
+		c := c
+		c.sliceEnd = func() { s.finishSlice(c) }
+	}
 	if cfg.DVFS {
 		s.dvfs = newDVFS(s)
 	}
@@ -213,11 +230,20 @@ func (s *Scheduler) activate(t *Thread) {
 		return
 	}
 	if t.remaining == 0 {
-		if len(t.queue) == 0 {
+		if t.qhead == len(t.queue) {
+			if t.qhead > 0 {
+				t.queue = t.queue[:0]
+				t.qhead = 0
+			}
 			return
 		}
-		b := t.queue[0]
-		t.queue = t.queue[1:]
+		b := t.queue[t.qhead]
+		t.queue[t.qhead] = burst{} // release the closure
+		t.qhead++
+		if t.qhead == len(t.queue) {
+			t.queue = t.queue[:0]
+			t.qhead = 0
+		}
 		t.remaining = b.d
 		t.onDone = b.onDone
 		if t.remaining == 0 {
@@ -342,24 +368,32 @@ func (s *Scheduler) run(t *Thread, core *Core) {
 	for _, l := range s.listeners {
 		l.OnRun(t, core, start, execTime)
 	}
-	s.eng.After(execTime, func() {
-		core.busy = false
-		core.current = nil
-		core.busyTime += execTime
-		t.running = false
-		t.cpuTime += execTime
-		t.remaining -= slice
-		if t.remaining <= 0 {
-			t.remaining = 0
-			done := t.onDone
-			t.onDone = nil
-			if done != nil {
-				done()
-			}
+	core.sliceT, core.sliceExec, core.sliceLen = t, execTime, slice
+	s.eng.After(execTime, core.sliceEnd)
+}
+
+// finishSlice completes the slice running on core: accounting, burst
+// completion, and rescheduling. It is the body of the core's reusable
+// sliceEnd callback.
+func (s *Scheduler) finishSlice(core *Core) {
+	t, execTime, slice := core.sliceT, core.sliceExec, core.sliceLen
+	core.sliceT = nil
+	core.busy = false
+	core.current = nil
+	core.busyTime += execTime
+	t.running = false
+	t.cpuTime += execTime
+	t.remaining -= slice
+	if t.remaining <= 0 {
+		t.remaining = 0
+		done := t.onDone
+		t.onDone = nil
+		if done != nil {
+			done()
 		}
-		s.activate(t)
-		s.dispatch()
-	})
+	}
+	s.activate(t)
+	s.dispatch()
 }
 
 // Utilization returns a core's busy fraction of total simulated time.

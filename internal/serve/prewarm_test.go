@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"aitax/internal/plan"
+	"aitax/internal/tflite"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestPrewarmWarmsFirstScrapeAndFirstRequest pins the prewarm satellite:
+// a prewarmed server's very first /metrics scrape already carries the
+// full serving series set (no outlier first window missing most
+// series), and its first request compiles no plans — the plan tax was
+// paid at startup.
+func TestPrewarmWarmsFirstScrapeAndFirstRequest(t *testing.T) {
+	// An un-prewarmed server's first scrape has none of the serving
+	// series: nothing has touched the registry yet.
+	_, coldTS := newTestServer(t, nil)
+	if body := scrape(t, coldTS.URL); strings.Contains(body, "aitax_serve_requests_total") {
+		t.Fatal("cold server's first scrape already lists serving series; the prewarm contrast is broken")
+	}
+
+	s, ts := newTestServer(t, nil)
+	rep, err := s.Prewarm(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, m := range s.cfg.Models {
+		if tflite.Supported(m, s.cfg.DType, s.cfg.Delegate) {
+			want++
+		}
+	}
+	if rep.Jobs != want || want == 0 {
+		t.Fatalf("prewarm ran %d jobs, want %d (one per supported loaded model)", rep.Jobs, want)
+	}
+	body := scrape(t, ts.URL)
+	for _, series := range []string{
+		`aitax_serve_requests_total{model="MobileNet 1.0 v1"}`,
+		`aitax_serve_rejected_total{model="MobileNet 1.0 v1"}`,
+		`aitax_serve_batches_total{model="MobileNet 1.0 v1"}`,
+		"aitax_serve_batch_size",
+		"aitax_serve_service_ms",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("first scrape after prewarm is missing %s", series)
+		}
+	}
+	// No fabricated traffic: the warmed counters read zero.
+	if s.metrics.Counter(`aitax_serve_requests_total{model="MobileNet 1.0 v1"}`) != 0 {
+		t.Fatal("prewarm fabricated request counts")
+	}
+
+	// The first real request reuses every prewarmed plan: zero compile
+	// time and zero cache misses added.
+	compile0 := plan.Shared.CompileTime()
+	_, misses0, _ := plan.Shared.Stats()
+	resp, out := postJSON(t, ts.URL+"/v1/classify", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request failed: %d %v", resp.StatusCode, out)
+	}
+	if d := plan.Shared.CompileTime() - compile0; d != 0 {
+		t.Fatalf("first request after prewarm spent %v compiling plans, want zero", d)
+	}
+	if _, misses, _ := plan.Shared.Stats(); misses != misses0 {
+		t.Fatalf("first request after prewarm missed the plan cache %d times, want zero", misses-misses0)
+	}
+}
+
+// TestPrewarmConfigCoversTheSteerDelegate pins that a QoS policy's
+// steer delegate is prewarmed too: brownout level 3 must not pay plan
+// compilation in the middle of an overload it exists to relieve.
+func TestPrewarmConfigCoversTheSteerDelegate(t *testing.T) {
+	cfg := testConfig(t)
+	rep, err := PrewarmConfig(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != len(cfg.Models) {
+		t.Fatalf("plain config ran %d jobs, want %d", rep.Jobs, len(cfg.Models))
+	}
+	qcfg := qosConfig(t)
+	qrep, err := PrewarmConfig(context.Background(), qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(qcfg.Models); qrep.Jobs != want {
+		t.Fatalf("QoS config ran %d prewarm jobs, want %d (serving + steer delegate)", qrep.Jobs, want)
+	}
+}

@@ -40,10 +40,19 @@ type event struct {
 	seq  uint64 // tiebreaker: FIFO among simultaneous events
 	fn   func()
 	dead bool
+	// gen increments every time the event struct is recycled through the
+	// engine's freelist, so an EventID issued for a previous occupancy
+	// can never cancel the current one.
+	gen uint32
 }
 
-// EventID identifies a scheduled event so it may be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it may be cancelled. The zero
+// value is valid and cancels nothing; an ID whose event already fired
+// (and was recycled) is detected by generation and ignored.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
 
 type eventQueue []*event
 
@@ -71,6 +80,10 @@ type Engine struct {
 	now   Time
 	queue eventQueue
 	seq   uint64
+	// free recycles fired/cancelled event structs: a simulation schedules
+	// millions of events but only ever has a bounded number pending, so
+	// the freelist caps event allocation at the peak queue depth.
+	free []*event
 	// Limit guards against runaway simulations; zero means no limit.
 	Limit Time
 }
@@ -89,10 +102,27 @@ func (e *Engine) Schedule(at Time, fn func()) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.dead = at, e.seq, fn, false
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped event to the freelist, bumping its
+// generation so outstanding EventIDs for it become inert.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	e.free = append(e.free, ev)
 }
 
 // After runs fn d from now. Negative d panics.
@@ -104,9 +134,10 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 }
 
 // Cancel prevents a pending event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op.
+// or already-cancelled event is a no-op (the generation check catches IDs
+// whose event struct has since been recycled for a newer event).
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
+	if id.ev != nil && id.ev.gen == id.gen {
 		id.ev.dead = true
 	}
 }
@@ -116,13 +147,18 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing: fn may schedule new events and reuse
+		// this struct, which is safe once the generation is bumped.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -146,7 +182,7 @@ func (e *Engine) RunUntil(t Time) {
 		// Peek.
 		next := e.queue[0]
 		if next.dead {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*event))
 			continue
 		}
 		if next.at > t {

@@ -286,6 +286,21 @@ func (r *Registry) Observe(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// TouchHistogram creates the named histogram with no observations if it
+// is absent, and leaves an existing one untouched. Prewarming a server's
+// registry this way makes the first scrape expose the full series set
+// without fabricating samples.
+func (r *Registry) TouchHistogram(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.hists[name] == nil {
+		r.hists[name] = newHistogram(r.streaming)
+	}
+	r.mu.Unlock()
+}
+
 // Counter returns a counter's value (0 when absent or on nil).
 func (r *Registry) Counter(name string) float64 {
 	if r == nil {

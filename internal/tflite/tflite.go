@@ -330,6 +330,7 @@ func (ip *Interpreter) buildSegments(accel driver.Target) {
 	ops := graph.Ops()
 	accelCosts := rt.opCosts(m.Name, graph, dt, accel)
 	cpuCosts := rt.opCosts(m.Name, graph, dt, ip.cpu)
+	ip.segments = make([]segment, 0, len(segs))
 	for _, s := range segs {
 		t, costs := driver.Target(ip.cpu), cpuCosts
 		if s.Accel {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-norace vet bench bench-smoke bench-wall experiments validate results examples trace-demo chaos-demo serve-smoke slo-demo brownout-demo clean
+.PHONY: all build test test-norace vet bench bench-smoke bench-wall experiments validate results examples trace-demo chaos-demo serve-smoke slo-demo brownout-demo fleet-demo clean
 
 all: build test
 
@@ -34,8 +34,8 @@ bench:
 # Packages covered by the CI benchmark gates (the root package carries
 # the pixel kernels and the cold-path benchmarks — ColdStart, DriverFix,
 # DVFSRamp — that the arena work is locked in by).
-BENCH_PKGS = . ./internal/benchfmt/ ./internal/par/ ./internal/obs/ ./internal/qos/ ./internal/telemetry/
-BENCH_BASELINE ?= BENCH_2026-08-08_arena.json
+BENCH_PKGS = . ./internal/benchfmt/ ./internal/par/ ./internal/obs/ ./internal/qos/ ./internal/telemetry/ ./internal/plan/ ./internal/fleet/
+BENCH_BASELINE ?= BENCH_2026-08-08_fleet.json
 
 # Quick allocation/regression smoke: one iteration per benchmark, parsed
 # into BENCH_smoke.json (a scratch file — the committed dated baselines
@@ -139,5 +139,19 @@ brownout-demo:
 	$(GO) run ./cmd/aitax-validate -brownout
 	@echo "brownout-demo ok: degradation anatomy matches golden and the gate passed"
 
+# Fleet smoke: the sharded 10k-device population simulation, diffed
+# against the committed golden at three (-parallel, -shards) shapes to
+# prove the report is sharding- and parallelism-independent, then the
+# population JSONL export (see docs/FLEET.md). The golden is recorded
+# at 2000 devices to keep CI fast; the 10k contract is pinned by
+# TestFleetMemoryFlatAt10k.
+fleet-demo:
+	$(GO) run ./cmd/aitax-fleet -devices 2000 -seed 42 > fleet_demo.txt
+	diff -u cmd/aitax-fleet/testdata/fleet_report.golden fleet_demo.txt
+	$(GO) run ./cmd/aitax-fleet -devices 2000 -seed 42 -parallel 1 -shards 7 | diff -u cmd/aitax-fleet/testdata/fleet_report.golden -
+	$(GO) run ./cmd/aitax-fleet -devices 2000 -seed 42 -parallel 8 -shards 64 -jsonl fleet_population.jsonl | diff -u cmd/aitax-fleet/testdata/fleet_report.golden -
+	@test -s fleet_population.jsonl || { echo "fleet_population.jsonl missing or empty"; exit 1; }
+	@echo "fleet-demo ok: population report matches golden at any sharding"
+
 clean:
-	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json bench_wall.txt BENCH_wall.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt slo_demo.txt brownout_demo.txt
+	rm -f test_output.txt bench_output.txt bench_smoke.txt BENCH_smoke.json bench_wall.txt BENCH_wall.json trace_demo.json trace_demo.prom trace_demo.jsonl serve_smoke.txt slo_demo.txt brownout_demo.txt fleet_demo.txt fleet_population.jsonl

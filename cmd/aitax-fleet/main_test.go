@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fleetArgs is the test configuration: small enough to run in seconds,
+// large enough that every tier is populated.
+var fleetArgs = []string{"-devices", "2000", "-seed", "42"}
+
+// TestGoldenFleetReport: the report is byte-identical across -parallel
+// and -shards variations and matches the committed golden.
+func TestGoldenFleetReport(t *testing.T) {
+	var outputs []string
+	for _, v := range [][]string{
+		{"-parallel", "1"},
+		{"-parallel", "2", "-shards", "7"},
+		{"-parallel", "8", "-shards", "64"},
+		{"-parallel", "4", "-shards", "1"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, fleetArgs...), v...), &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", v, code, errb.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("report differs between variant 0 and %d", i)
+		}
+	}
+	want, err := os.ReadFile("testdata/fleet_report.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0] != string(want) {
+		t.Fatalf("fleet report diverged from golden\n--- got ---\n%s\n--- want ---\n%s",
+			outputs[0], string(want))
+	}
+	// The population must actually be heterogeneous: all three tiers
+	// populated, and the entry tier visibly slower than flagship.
+	for _, tier := range []string{"flagship", "mid", "entry"} {
+		if !strings.Contains(outputs[0], "== tier "+tier+" ==") {
+			t.Fatalf("report missing tier %s", tier)
+		}
+	}
+}
+
+// TestFleetJSONLAndCounters: the export paths produce valid JSON and
+// the JSONL is byte-identical across shard counts.
+func TestFleetJSONLAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	render := func(shards string) string {
+		jsonl := filepath.Join(dir, "pop_"+shards+".jsonl")
+		counters := filepath.Join(dir, "counters_"+shards+".json")
+		var out, errb bytes.Buffer
+		args := append(append([]string{}, fleetArgs...),
+			"-shards", shards, "-jsonl", jsonl, "-counters", counters)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+		}
+		rows, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(rows)), "\n") {
+			var v map[string]any
+			if err := json.Unmarshal([]byte(line), &v); err != nil {
+				t.Fatalf("bad JSONL line %q: %v", line, err)
+			}
+			if _, ok := v["sum"]; ok {
+				t.Fatalf("JSONL row exports a float sum (non-mergeable): %q", line)
+			}
+		}
+		var trace map[string]any
+		counterBytes, err := os.ReadFile(counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(counterBytes, &trace); err != nil {
+			t.Fatalf("counters file is not valid JSON: %v", err)
+		}
+		return string(rows)
+	}
+	if render("4") != render("25") {
+		t.Fatal("JSONL differs across shard counts")
+	}
+}
+
+// TestFleetBadFlags pins the CLI validation exits.
+func TestFleetBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dtype", "fp16"},
+		{"-delegate", "tpu"},
+		{"-models", "No Such Model"},
+		{"-devices", "0"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}

@@ -129,13 +129,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Merge folds other into h. Both histograms must share bounds (the
-// usual case: every series in a recorder uses the recorder's bounds).
+// usual case: every series in a recorder uses the recorder's bounds);
+// merging histograms whose bounds differ — in length or in any value —
+// panics rather than silently producing a miscounted distribution.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.count == 0 {
 		return
 	}
 	if len(h.bounds) != len(other.bounds) {
 		panic("obs: merging histograms with different bounds")
+	}
+	// Same backing array (the common case: both built from one bounds
+	// slice) needs no value scan.
+	if len(h.bounds) > 0 && &h.bounds[0] != &other.bounds[0] {
+		for i := range h.bounds {
+			if h.bounds[i] != other.bounds[i] {
+				panic("obs: merging histograms with different bounds")
+			}
+		}
 	}
 	if h.count == 0 || other.min < h.min {
 		h.min = other.min

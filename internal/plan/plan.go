@@ -50,26 +50,72 @@ type entry struct {
 	val  any
 }
 
-// Cache is a concurrent build-once store. The zero value is not usable;
-// construct with New. Get is safe to call from any number of goroutines:
-// the first caller for a key runs the build function, everyone else
-// blocks until the value is ready (sync.Once), and distinct keys build
-// concurrently.
-type Cache struct {
+// cacheShards is the number of independently locked map shards. Sixteen
+// comfortably covers the worst observed fan-in (a fleet run's worker
+// pool compiling one (platform, model) key per catalog entry at shard
+// start) without bloating the empty cache.
+const cacheShards = 16
+
+// cacheShard is one independently locked slice of the key space.
+// Padding would buy nothing here: the mutex is held for a map operation,
+// not a spin.
+type cacheShard struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
 
 	hits, misses, invalidations int64
+}
+
+// Cache is a concurrent build-once store. The zero value is not usable;
+// construct with New. Get is safe to call from any number of goroutines:
+// the first caller for a key runs the build function, everyone else
+// blocks until the value is ready (sync.Once), and distinct keys build
+// concurrently. The key space is sharded across independently locked
+// maps so that many keys resolving at once — a fleet run's shards all
+// warming their (platform, model) plans at fan-in — do not serialize on
+// one mutex; builds themselves always ran outside the lock (per-entry
+// sync.Once), so sharding only removes map-access contention.
+type Cache struct {
+	shards [cacheShards]cacheShard
+
 	// compileNS accumulates host wall time spent inside build functions
-	// (atomically; builds run outside mu). It is the plan-compilation tax
-	// callers have paid so far — the quantity Prewarm moves from the
-	// first request to startup.
+	// (atomically; builds run outside the shard locks). It is the
+	// plan-compilation tax callers have paid so far — the quantity
+	// Prewarm moves from the first request to startup.
 	compileNS int64
 }
 
 // New returns an empty cache.
 func New() *Cache {
-	return &Cache{entries: make(map[Key]*entry)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*entry)
+	}
+	return c
+}
+
+// shard picks the slice of the key space k lives in (FNV-1a over every
+// key field; strings dominate the entropy, the ints break ties between
+// graph variants).
+func (c *Cache) shard(k Key) *cacheShard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, s := range [...]string{k.Kind, k.Model, k.Scope, k.Platform} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff // field separator so ("ab","c") != ("a","bc")
+		h *= prime
+	}
+	h ^= uint64(k.DType)
+	h *= prime
+	h ^= uint64(k.Variant)
+	h *= prime
+	return &c.shards[h%cacheShards]
 }
 
 // Shared is the process-wide cache every standard-built runtime uses.
@@ -83,16 +129,17 @@ func (c *Cache) Get(k Key, build func() any) any {
 	if c == nil {
 		return build()
 	}
-	c.mu.Lock()
-	e := c.entries[k]
+	sh := c.shard(k)
+	sh.mu.Lock()
+	e := sh.entries[k]
 	if e == nil {
 		e = &entry{}
-		c.entries[k] = e
-		c.misses++
+		sh.entries[k] = e
+		sh.misses++
 	} else {
-		c.hits++
+		sh.hits++
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	e.once.Do(func() {
 		start := time.Now()
 		e.val = build()
@@ -118,12 +165,13 @@ func (c *Cache) Invalidate(k Key) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	if _, ok := c.entries[k]; ok {
-		delete(c.entries, k)
-		c.invalidations++
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if _, ok := sh.entries[k]; ok {
+		delete(sh.entries, k)
+		sh.invalidations++
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Len reports the live entry count.
@@ -131,19 +179,31 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats reports cumulative hit/miss/invalidation counts.
+// Stats reports cumulative hit/miss/invalidation counts, summed across
+// the map shards.
 func (c *Cache) Stats() (hits, misses, invalidations int64) {
 	if c == nil {
 		return 0, 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.invalidations
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		invalidations += sh.invalidations
+		sh.mu.Unlock()
+	}
+	return hits, misses, invalidations
 }
 
 // Job is one prewarm compilation unit: Compile must build — and thereby

@@ -53,74 +53,30 @@ func (s *SoC) Devices() []*Device {
 	return []*Device{&s.Big, &s.Little, &s.GPU, &s.DSP}
 }
 
-// Validate sanity-checks the platform description.
+// Validate sanity-checks the platform description. Every failure wraps
+// ErrBadSpec, so callers branch with errors.Is — the same typed-error
+// contract Spec.Validate follows.
 func (s *SoC) Validate() error {
 	if s.BigCores <= 0 || s.LittleCores < 0 {
-		return fmt.Errorf("soc: %s has invalid core counts", s.Name)
+		return fmt.Errorf("%w: %s has invalid core counts", ErrBadSpec, s.Name)
 	}
 	for _, d := range s.Devices() {
 		if d.FP32OpsPerSec <= 0 || d.Int8OpsPerSec <= 0 || d.ScalarOpsPerSec <= 0 || d.MemBytesPerSec <= 0 {
-			return fmt.Errorf("soc: %s device %s has unset throughput", s.Name, d.Name)
+			return fmt.Errorf("%w: %s device %s has unset throughput", ErrBadSpec, s.Name, d.Name)
 		}
 	}
 	if s.RPC.SessionSetup <= 0 || s.RPC.KernelCrossing <= 0 {
-		return fmt.Errorf("soc: %s has unset RPC params", s.Name)
+		return fmt.Errorf("%w: %s has unset RPC params", ErrBadSpec, s.Name)
 	}
 	return nil
 }
 
-// snapdragon builds one platform generation. gen scales device
-// throughput across the SD835→SD865 range (~18% per generation, matching
-// the flagship cadence).
+// snapdragon builds one platform generation from its declarative spec.
+// gen scales device throughput across the SD835→SD865 range (~18% per
+// generation, matching the flagship cadence); the derivation formulas
+// live in Spec.Build, shared with every fleet-catalog entry.
 func snapdragon(name, chipset, gpu, dsp string, bigGHz, littleGHz, gen float64) *SoC {
-	g := gen // generation multiplier, 1.0 = SD835
-	const G = 1e9
-	s := &SoC{
-		Name: name, Chipset: chipset, GPUName: gpu, DSPName: dsp,
-		BigCores: 4, LittleCores: 4,
-		Big: Device{
-			Name: "kryo-big", Kind: CPUBig,
-			// NEON FMA at ~45% achieved efficiency, SDOT-class int8.
-			FP32OpsPerSec:   bigGHz * 7 * G * g,
-			Int8OpsPerSec:   bigGHz * 12 * G * g,
-			ScalarOpsPerSec: bigGHz * 1.2 * G * g,
-			MemBytesPerSec:  9 * G * g,
-			ActivePowerW:    2.0,
-		},
-		Little: Device{
-			Name: "kryo-little", Kind: CPULittle,
-			FP32OpsPerSec:   littleGHz * 3.5 * G * g,
-			Int8OpsPerSec:   littleGHz * 6 * G * g,
-			ScalarOpsPerSec: littleGHz * 0.8 * G * g,
-			MemBytesPerSec:  5 * G * g,
-			ActivePowerW:    0.45,
-		},
-		GPU: Device{
-			Name: "adreno", Kind: GPU,
-			FP32OpsPerSec:   90 * G * g,
-			Int8OpsPerSec:   120 * G * g,
-			ScalarOpsPerSec: 4 * G * g,
-			MemBytesPerSec:  18 * G * g,
-			ActivePowerW:    3.6,
-		},
-		DSP: Device{
-			Name: "hexagon", Kind: DSP,
-			// HVX: enormous int8 throughput, weak fp32 and scalar paths.
-			FP32OpsPerSec:   8 * G * g,
-			Int8OpsPerSec:   450 * G * g,
-			ScalarOpsPerSec: 1.5 * G * g,
-			MemBytesPerSec:  14 * G * g,
-			ActivePowerW:    1.1,
-		},
-		RPC: RPCParams{
-			SessionSetup:    time.Duration(float64(85*time.Millisecond) / g),
-			KernelCrossing:  time.Duration(float64(28*time.Microsecond) / g),
-			CacheFlushPerKB: time.Duration(float64(220*time.Nanosecond) / g),
-			DSPWakeup:       time.Duration(float64(95*time.Microsecond) / g),
-		},
-		IdleTempC: 33,
-	}
-	return s
+	return tableIISpec(name, chipset, gpu, dsp, bigGHz, littleGHz, gen).MustBuild()
 }
 
 // Table-II platform constructors.

@@ -1,0 +1,108 @@
+package stats
+
+import "fmt"
+
+// RegAccum is a streaming, exactly-mergeable least-squares accumulator.
+// Observations are quantized onto fixed-point grids and accumulated as
+// int64 sums, so addition is associative: any sharding of the input —
+// merged in any grouping — yields bit-identical sums and therefore a
+// bit-identical fit. This is the regression counterpart of the
+// fixed-bucket histogram: flat memory (six words), exact merges.
+//
+// Grid resolution bounds the usable range: with XScale=1e4 and
+// YScale=1e2 (the fleet runner's choice for perf multipliers ≤ ~4 and
+// percent shares ≤ 100), the Σx²·scale² terms stay far below int64
+// overflow out past 10⁸ observations. Choose scales so that
+// |x·XScale| and |y·YScale| stay under ~10⁵.
+type RegAccum struct {
+	xScale, yScale float64
+	n              int64
+	sx, sy         int64
+	sxx, sxy, syy  int64
+}
+
+// NewRegAccum returns an accumulator quantizing x and y onto 1/xScale
+// and 1/yScale grids. Scales must be positive.
+func NewRegAccum(xScale, yScale float64) *RegAccum {
+	if xScale <= 0 || yScale <= 0 {
+		panic(fmt.Sprintf("stats: RegAccum scales must be positive (%g, %g)", xScale, yScale))
+	}
+	return &RegAccum{xScale: xScale, yScale: yScale}
+}
+
+// quantize rounds v onto the grid (half away from zero).
+func quantize(v, scale float64) int64 {
+	s := v * scale
+	if s >= 0 {
+		return int64(s + 0.5)
+	}
+	return int64(s - 0.5)
+}
+
+// Add records one (x, y) observation.
+func (r *RegAccum) Add(x, y float64) {
+	qx, qy := quantize(x, r.xScale), quantize(y, r.yScale)
+	r.n++
+	r.sx += qx
+	r.sy += qy
+	r.sxx += qx * qx
+	r.sxy += qx * qy
+	r.syy += qy * qy
+}
+
+// N returns the observation count.
+func (r *RegAccum) N() int64 { return r.n }
+
+// Merge folds other into r. Both accumulators must share grids.
+func (r *RegAccum) Merge(other *RegAccum) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if r.xScale != other.xScale || r.yScale != other.yScale {
+		panic("stats: merging RegAccums with different grids")
+	}
+	r.n += other.n
+	r.sx += other.sx
+	r.sy += other.sy
+	r.sxx += other.sxx
+	r.sxy += other.sxy
+	r.syy += other.syy
+}
+
+// Reset empties the accumulator, keeping its grids.
+func (r *RegAccum) Reset() {
+	r.n, r.sx, r.sy, r.sxx, r.sxy, r.syy = 0, 0, 0, 0, 0, 0
+}
+
+// Fit solves the least-squares line over the accumulated (quantized)
+// observations — the same closed form as LinReg, evaluated from the
+// integer sums. Fewer than two observations yield a zero fit.
+func (r *RegAccum) Fit() LinFit {
+	n := float64(r.n)
+	if r.n < 2 {
+		return LinFit{}
+	}
+	sx := float64(r.sx) / r.xScale
+	sy := float64(r.sy) / r.yScale
+	sxx := float64(r.sxx) / (r.xScale * r.xScale)
+	sxy := float64(r.sxy) / (r.xScale * r.yScale)
+	syy := float64(r.syy) / (r.yScale * r.yScale)
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinFit{Intercept: sy / n, R2: 1}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R² from the sufficient statistics:
+	// SSres = Σy² - 2aΣxy - 2bΣy + a²Σx² + 2abΣx + nb².
+	ssTot := syy - sy*sy/n
+	ssRes := syy - 2*slope*sxy - 2*intercept*sy + slope*slope*sxx + 2*slope*intercept*sx + n*intercept*intercept
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return LinFit{Slope: slope, Intercept: intercept, R2: r2}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRegAccumMatchesLinReg: on grid-aligned inputs the streaming fit
+// equals the retained-sample fit exactly.
+func TestRegAccumMatchesLinReg(t *testing.T) {
+	xs := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	ys := []float64{10, 14, 17, 22, 26, 29}
+	acc := NewRegAccum(1e4, 1e2)
+	for i := range xs {
+		acc.Add(xs[i], ys[i])
+	}
+	want := LinReg(xs, ys)
+	got := acc.Fit()
+	if math.Abs(got.Slope-want.Slope) > 1e-9 || math.Abs(got.Intercept-want.Intercept) > 1e-9 {
+		t.Fatalf("fit %+v, want %+v", got, want)
+	}
+	if math.Abs(got.R2-want.R2) > 1e-9 {
+		t.Fatalf("r2 %g, want %g", got.R2, want.R2)
+	}
+	if acc.N() != 6 {
+		t.Fatalf("n %d", acc.N())
+	}
+}
+
+// TestRegAccumMergeAssociative: any shard grouping of the same stream
+// yields bit-identical sums and fits — the property the fleet runner's
+// byte-identical-at-any-shard-count report rests on.
+func TestRegAccumMergeAssociative(t *testing.T) {
+	const n = 1000
+	xy := func(i int) (float64, float64) {
+		x := 0.25 + float64(i%17)*0.13
+		y := 5 + 20*x + float64(i%7) // deterministic scatter
+		return x, y
+	}
+	whole := NewRegAccum(1e4, 1e2)
+	for i := 0; i < n; i++ {
+		whole.Add(xy(i))
+	}
+	for _, shards := range []int{2, 3, 7, 64, n} {
+		merged := NewRegAccum(1e4, 1e2)
+		for s := 0; s < shards; s++ {
+			part := NewRegAccum(1e4, 1e2)
+			lo, hi := s*n/shards, (s+1)*n/shards
+			for i := lo; i < hi; i++ {
+				part.Add(xy(i))
+			}
+			merged.Merge(part)
+		}
+		if *merged != *whole {
+			t.Fatalf("%d-shard merge diverged: %+v vs %+v", shards, merged, whole)
+		}
+		got, want := merged.Fit(), whole.Fit()
+		if got != want {
+			t.Fatalf("%d-shard fit %+v, want %+v", shards, got, want)
+		}
+	}
+}
+
+// TestRegAccumEmptyAndDegenerate covers the guard rails.
+func TestRegAccumEmptyAndDegenerate(t *testing.T) {
+	acc := NewRegAccum(1e4, 1e2)
+	if f := acc.Fit(); f != (LinFit{}) {
+		t.Fatalf("empty fit %+v", f)
+	}
+	acc.Add(1, 2)
+	if f := acc.Fit(); f != (LinFit{}) {
+		t.Fatalf("single-point fit %+v", f)
+	}
+	// All x equal: vertical line degenerates to the mean intercept.
+	acc.Reset()
+	acc.Add(1, 2)
+	acc.Add(1, 4)
+	f := acc.Fit()
+	if f.Slope != 0 || math.Abs(f.Intercept-3) > 1e-9 {
+		t.Fatalf("degenerate fit %+v, want intercept 3", f)
+	}
+	// Merging an empty or nil accumulator is a no-op.
+	before := *acc
+	acc.Merge(NewRegAccum(1e4, 1e2))
+	acc.Merge(nil)
+	if *acc != before {
+		t.Fatal("empty merge changed state")
+	}
+}
+
+// TestRegAccumPanics pins the misuse paths.
+func TestRegAccumPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad scale", func() { NewRegAccum(0, 1) })
+	mustPanic("grid mismatch", func() {
+		a, b := NewRegAccum(1e4, 1e2), NewRegAccum(1e2, 1e2)
+		b.Add(1, 1)
+		a.Merge(b)
+	})
+}
+
+// TestRegAccumNegativeValues: quantization rounds half away from zero
+// symmetrically.
+func TestRegAccumNegativeValues(t *testing.T) {
+	acc := NewRegAccum(10, 10)
+	acc.Add(-1.25, -1.25)
+	acc.Add(1.25, 1.25)
+	if acc.sx != 0 || acc.sy != 0 {
+		t.Fatalf("asymmetric rounding: sx=%d sy=%d", acc.sx, acc.sy)
+	}
+}
